@@ -1,0 +1,22 @@
+//! # xsim-apps — simulated applications
+//!
+//! The workloads of the reproduction:
+//!
+//! * [`heat3d`] — the paper's target application (§V-B): iterative 3-D
+//!   heat equation, cube decomposition, halo exchanges, application-
+//!   level checkpoint/restart. Drives Table II.
+//! * [`jacobi2d`] — a 2-D Jacobi solver with residual allreduce
+//!   (structurally different communication pattern).
+//! * [`sweep`] — a Sweep3D-style pipelined wavefront (dependency-chain
+//!   dominated, unlike the bulk-synchronous apps).
+//! * [`kernels`] — ring / compute+allreduce / ping-pong / noop
+//!   microbenchmark programs for tests, examples and ablations.
+
+pub mod heat3d;
+pub mod jacobi2d;
+pub mod kernels;
+pub mod sweep;
+
+pub use heat3d::{ComputeMode, HeatConfig};
+pub use jacobi2d::{JacobiConfig, JacobiOutcome};
+pub use sweep::SweepConfig;

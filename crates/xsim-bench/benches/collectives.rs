@@ -1,0 +1,120 @@
+//! Collective-algorithm benchmarks: the linear algorithms the paper's
+//! simulated system configures (§V-C) against the binomial-tree
+//! variants (ablation, DESIGN.md §4.3). Measured quantity is simulator
+//! wall time; the printed virtual-time comparison lives in the
+//! `ablations` harness binary.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xsim_core::vp::VpProgram;
+use xsim_mpi::{mpi_program, MpiCtx, SimBuilder};
+use xsim_net::NetModel;
+
+fn run(n: usize, program: Arc<dyn VpProgram>) {
+    SimBuilder::new(n)
+        .net(NetModel::small(n))
+        .run(program)
+        .unwrap();
+}
+
+fn barrier_linear(rounds: u32) -> Arc<dyn VpProgram> {
+    mpi_program(move |mpi: MpiCtx| async move {
+        for _ in 0..rounds {
+            mpi.barrier(mpi.world()).await?;
+        }
+        mpi.finalize();
+        Ok(())
+    })
+}
+
+fn barrier_tree(rounds: u32) -> Arc<dyn VpProgram> {
+    mpi_program(move |mpi: MpiCtx| async move {
+        for _ in 0..rounds {
+            xsim_mpi::collective::barrier_tree(mpi.world().id).await?;
+        }
+        mpi.finalize();
+        Ok(())
+    })
+}
+
+fn bcast_linear(rounds: u32, bytes: usize) -> Arc<dyn VpProgram> {
+    mpi_program(move |mpi: MpiCtx| async move {
+        let data = Bytes::from(vec![0u8; bytes]);
+        for _ in 0..rounds {
+            mpi.bcast(mpi.world(), 0, data.clone()).await?;
+        }
+        mpi.finalize();
+        Ok(())
+    })
+}
+
+fn bcast_tree(rounds: u32, bytes: usize) -> Arc<dyn VpProgram> {
+    mpi_program(move |mpi: MpiCtx| async move {
+        let data = Bytes::from(vec![0u8; bytes]);
+        for _ in 0..rounds {
+            xsim_mpi::collective::bcast_tree(mpi.world().id, 0, data.clone()).await?;
+        }
+        mpi.finalize();
+        Ok(())
+    })
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/barrier");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| run(n, barrier_linear(5)));
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            b.iter(|| run(n, barrier_tree(5)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/bcast_64KiB");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| run(n, bcast_linear(3, 64 * 1024)));
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            b.iter(|| run(n, bcast_tree(3, 64 * 1024)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/allreduce_f64x64");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let program = |rounds: u32| {
+        mpi_program(move |mpi: MpiCtx| async move {
+            let data = vec![1.0f64; 64];
+            for _ in 0..rounds {
+                mpi.allreduce_f64(mpi.world(), &data, xsim_mpi::ReduceOp::Sum)
+                    .await?;
+            }
+            mpi.finalize();
+            Ok(())
+        })
+    };
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(n, program(3)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_bcast, bench_allreduce);
+criterion_main!(benches);

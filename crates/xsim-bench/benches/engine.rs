@@ -1,0 +1,106 @@
+//! Engine micro-benchmarks: raw event throughput, VP context-switch
+//! rate, and the sequential vs. conservative-parallel engine ablation
+//! (DESIGN.md §4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use xsim_core::vp::{VpExit, VpFuture};
+use xsim_core::{ctx, engine, CoreConfig, Kernel, Rank, SimTime};
+
+fn cfg(n: usize, workers: usize) -> CoreConfig {
+    CoreConfig {
+        n_ranks: n,
+        workers,
+        lookahead: SimTime::from_micros(1),
+        ..Default::default()
+    }
+}
+
+fn no_setup(_: &mut Kernel) {}
+
+/// Each VP sleeps `slices` times: 2 events per slice (wake schedule +
+/// resume), measuring the kernel's event path.
+fn sleepy(slices: u32) -> impl Fn(Rank) -> VpFuture + Send + Sync {
+    move |_rank| {
+        Box::pin(async move {
+            for _ in 0..slices {
+                ctx::sleep(SimTime::from_micros(10)).await;
+            }
+            VpExit::Finished
+        }) as VpFuture
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/event_throughput");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [256usize, 4096] {
+        let slices = 20u32;
+        let events = (n as u64) * (slices as u64 + 1);
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| {
+                engine::run(cfg(n, 1), Arc::new(sleepy(slices)), &no_setup).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_context_switches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/context_switch");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // One VP, many switches: isolates poll + TLS + waker overhead.
+    let slices = 10_000u32;
+    g.throughput(Throughput::Elements(slices as u64));
+    g.bench_function("single_vp", |b| {
+        b.iter(|| engine::run(cfg(1, 1), Arc::new(sleepy(slices)), &no_setup).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/seq_vs_parallel");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let n = 4096;
+    let slices = 50u32;
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    engine::run(cfg(n, workers), Arc::new(sleepy(slices)), &no_setup).unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_spawn_teardown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/spawn_teardown");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for n in [1024usize, 16384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| engine::run(cfg(n, 1), Arc::new(sleepy(1)), &no_setup).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_context_switches,
+    bench_parallel_engine,
+    bench_spawn_teardown
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Resilience-path benchmarks: cost of the failure notification
+//! broadcast + request release machinery (paper §IV-B/C), the abort
+//! cascade (§IV-D), and the Table I bit-flip campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsim_apps::heat3d::{self, HeatConfig};
+use xsim_apps::ComputeMode;
+use xsim_core::SimTime;
+use xsim_fault::bitflip::{run_campaign, VictimLayout};
+use xsim_mpi::{ErrHandler, SimBuilder};
+use xsim_net::NetModel;
+
+fn heat_cfg(ranks: [usize; 3]) -> HeatConfig {
+    HeatConfig {
+        global: [ranks[0] * 4, ranks[1] * 4, ranks[2] * 4],
+        ranks,
+        iterations: 40,
+        halo_interval: 10,
+        ckpt_interval: 10,
+        mode: ComputeMode::Modeled,
+        per_point: SimTime::from_micros(1),
+        prefix: "bench".into(),
+    }
+}
+
+fn bench_failure_abort_cascade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failures/abort_cascade");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for dims in [[4usize, 4, 4], [8, 8, 8]] {
+        let cfg = heat_cfg(dims);
+        let n = cfg.n_ranks();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                SimBuilder::new(cfg.n_ranks())
+                    .net(NetModel::small(cfg.n_ranks()))
+                    .inject_failure(1, SimTime::from_millis(100))
+                    .run(heat3d::program(cfg.clone()))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_failure_free_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failures/failure_free_reference");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let cfg = heat_cfg([4, 4, 4]);
+    g.bench_function("heat_64_ranks", |b| {
+        b.iter(|| {
+            SimBuilder::new(cfg.n_ranks())
+                .net(NetModel::small(cfg.n_ranks()))
+                .run(heat3d::program(cfg.clone()))
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_errors_return_detection(c: &mut Criterion) {
+    // Detection without the abort cascade: ERRORS_RETURN keeps the run
+    // alive, isolating the release machinery.
+    let mut g = c.benchmark_group("failures/errors_return_detection");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let cfg = heat_cfg([4, 4, 4]);
+    g.bench_function("heat_64_ranks", |b| {
+        b.iter(|| {
+            SimBuilder::new(cfg.n_ranks())
+                .net(NetModel::small(cfg.n_ranks()))
+                .errhandler(ErrHandler::Return)
+                .inject_failure(9, SimTime::from_millis(50))
+                .run(heat3d::program(cfg.clone()))
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_bitflip_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failures/bitflip_campaign");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("table1_100_victims", |b| {
+        b.iter(|| run_campaign(100, 100, VictimLayout::default(), 17));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_failure_abort_cascade,
+    bench_failure_free_reference,
+    bench_errors_return_detection,
+    bench_bitflip_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Point-to-point benchmarks: message path cost across the eager /
+//! rendezvous protocol boundary (the paper's 256 kB threshold, §V-C)
+//! and the matching-queue hot path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsim_apps::kernels;
+use xsim_mpi::msg::{Envelope, MatchQueues, PostedRecv, SrcSel, TagSel};
+use xsim_mpi::{CommId, SimBuilder};
+use xsim_net::NetModel;
+use xsim_core::{Rank, SimTime};
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p/pingpong");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    // 4 KiB (eager) vs 1 MiB (rendezvous) — same round count.
+    for (label, payload) in [("eager_4KiB", 4 * 1024), ("rendezvous_1MiB", 1 << 20)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                SimBuilder::new(2)
+                    .net(NetModel::small(2))
+                    .run(kernels::pingpong(50, payload))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_message_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p/message_rate");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let rounds = 200u32;
+    g.throughput(Throughput::Elements(2 * rounds as u64));
+    g.bench_function("pingpong_64B", |b| {
+        b.iter(|| {
+            SimBuilder::new(2)
+                .net(NetModel::small(2))
+                .run(kernels::pingpong(rounds, 64))
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn env(src: u32, tag: u32, seq: u64) -> Envelope {
+    Envelope {
+        src: Rank(src),
+        comm: CommId(0),
+        tag,
+        data: Bytes::new(),
+        seq,
+        header_arrival: SimTime(seq),
+        payload_ready: Some(SimTime(seq)),
+        send_req: None,
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p/matching");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1_000u32, 30_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        // The linear-collective-root pattern: post n specific receives,
+        // deliver n matching envelopes.
+        g.bench_with_input(BenchmarkId::new("post_then_deliver", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = MatchQueues::default();
+                for i in 0..n {
+                    q.post(PostedRecv {
+                        req: i as u64,
+                        comm: CommId(0),
+                        src: SrcSel::Of(Rank(i)),
+                        tag: TagSel::Of(7),
+                        posted_at: SimTime(0),
+                        post_seq: 0,
+                    });
+                }
+                for i in 0..n {
+                    q.deliver(env(i, 7, i as u64)).unwrap();
+                }
+                q
+            });
+        });
+        // The unexpected-queue pattern: deliver first, post later.
+        g.bench_with_input(BenchmarkId::new("deliver_then_post", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = MatchQueues::default();
+                for i in 0..n {
+                    q.deliver(env(i, 7, i as u64));
+                }
+                for i in 0..n {
+                    q.post(PostedRecv {
+                        req: i as u64,
+                        comm: CommId(0),
+                        src: SrcSel::Of(Rank(i)),
+                        tag: TagSel::Of(7),
+                        posted_at: SimTime(0),
+                        post_seq: 0,
+                    })
+                    .unwrap();
+                }
+                q
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong, bench_message_rate, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! # xsim-bench — evaluation harnesses
+//!
+//! One binary per paper artifact (see DESIGN.md §3):
+//!
+//! * `table1` — fault (bit-flip) injection campaign statistics.
+//! * `table2` — varying the checkpoint interval and system MTTF with the
+//!   heat application on the simulated 32,768-node torus.
+//! * `first_impressions` — the failure-mode narrative of §V-D.
+//! * `scalability` — VP capacity/oversubscription sweep (§II-A claims).
+//! * `ablations` — design-choice sweeps from DESIGN.md §4 (engines,
+//!   eager/rendezvous threshold, linear vs tree collectives, detectors).
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+use std::sync::Arc;
+use xsim_apps::heat3d::{self, HeatConfig};
+use xsim_ckpt::{CampaignResult, CheckpointManager, Orchestrator};
+use xsim_core::{SimError, SimTime};
+use xsim_fault::FailureModel;
+use xsim_fs::FsStore;
+use xsim_mpi::SimBuilder;
+use xsim_net::NetModel;
+use xsim_proc::ProcModel;
+
+/// Builder configured like the paper's simulated system (§V-C): 32³
+/// wrapped torus (or a scaled-down torus), 1 µs / 32 GB/s links, 256 kB
+/// eager threshold, 1000× node slowdown, free checkpoint I/O.
+pub fn paper_builder(cfg: &HeatConfig, workers: usize, seed: u64) -> SimBuilder {
+    let mut net = NetModel::paper_machine();
+    net.topology = xsim_net::Topology::Torus3d {
+        dims: [cfg.ranks[0], cfg.ranks[1], cfg.ranks[2]],
+    };
+    SimBuilder::new(cfg.n_ranks())
+        .net(net)
+        .proc(ProcModel::with_slowdown(1000.0))
+        .workers(workers)
+        .seed(seed)
+}
+
+/// One Table II cell: run the heat application to completion under the
+/// given failure model.
+pub fn run_heat_campaign(
+    cfg: &HeatConfig,
+    model: FailureModel,
+    workers: usize,
+    seed: u64,
+) -> Result<CampaignResult, SimError> {
+    let store = FsStore::new();
+    let orchestrator = Orchestrator::new(model, seed, CheckpointManager::new(&cfg.prefix));
+    let cfg2 = cfg.clone();
+    orchestrator.run_to_completion(
+        store,
+        heat3d::program(cfg.clone()),
+        cfg.n_ranks(),
+        move || paper_builder(&cfg2, workers, seed),
+    )
+}
+
+/// Failure-free execution time of a heat configuration (Table II's E1).
+pub fn run_heat_baseline(
+    cfg: &HeatConfig,
+    workers: usize,
+    seed: u64,
+) -> Result<SimTime, SimError> {
+    let report = paper_builder(cfg, workers, seed).run(heat3d::program(cfg.clone()))?;
+    Ok(report.exit_time())
+}
+
+/// Scale description for the Table II harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full 32,768-rank configuration.
+    Paper,
+    /// A reduced 4,096-rank configuration for CI / quick runs (16³
+    /// ranks, proportionally scaled problem).
+    Quick,
+}
+
+/// Build the heat configuration for a Table II row at a scale.
+pub fn table2_config(scale: Scale, ckpt_interval: u64) -> HeatConfig {
+    match scale {
+        Scale::Paper => HeatConfig::paper(ckpt_interval),
+        Scale::Quick => {
+            let mut cfg = HeatConfig::paper(ckpt_interval);
+            cfg.ranks = [16, 16, 16];
+            cfg.global = [256, 256, 256]; // keeps 16³ points per rank
+            cfg
+        }
+    }
+}
+
+/// Parse common CLI flags of the harness binaries.
+pub fn parse_flags() -> Flags {
+    let mut flags = Flags::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => flags.scale = Scale::Quick,
+            "--workers" => {
+                flags.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N");
+            }
+            "--seed" => {
+                flags.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown flag {other}; known: --quick --workers N --seed N");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+/// Parsed harness flags.
+#[derive(Debug, Clone, Copy)]
+pub struct Flags {
+    /// Scale selection.
+    pub scale: Scale,
+    /// Native worker threads.
+    pub workers: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            scale: Scale::Paper,
+            workers: 1,
+            // Default chosen so both MTTF groups of Table II experience
+            // failures in their first run (any seed is valid; the runs
+            // are deterministic per seed).
+            seed: 17,
+        }
+    }
+}
+
+/// Peak resident set size of this process in KiB (Linux), if readable.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Convenience: an `Arc`ed heat program for repeated runs.
+pub fn heat_program(cfg: &HeatConfig) -> Arc<dyn xsim_core::vp::VpProgram> {
+    heat3d::program(cfg.clone())
+}

@@ -1,0 +1,30 @@
+//! # xsim-ckpt — application-level checkpoint/restart
+//!
+//! The paper's fault-handling technique of record: "Application state is
+//! regularly written out to the parallel file system as a checkpoint. In
+//! case of a failure, the application is restarted and the last written
+//! out checkpoint is read back in … The progress between the time the
+//! last checkpoint was written and the application failed is lost and
+//! needs to be recomputed" (§III-B). This crate provides:
+//!
+//! * [`codec`] — a checksummed checkpoint format, so *corrupted*
+//!   checkpoints (exist but incomplete, §V-B) are detectable.
+//! * [`manager`] — naming, simulated-I/O write/load/delete, the
+//!   barrier-then-delete protocol helpers, incomplete-set cleanup, and
+//!   the exit-time persistence of paper §IV-E.
+//! * [`daly`] — Young/Daly optimal checkpoint-interval estimates (the
+//!   paper's reference model \[31\] for checkpoint optimization, §II-B),
+//!   so simulated interval sweeps can be validated analytically.
+//! * [`orchestrator`] — the run → abort → cleanup → restart loop with
+//!   continuous virtual timing and per-run random failure injection,
+//!   which is exactly the procedure behind Table II.
+
+pub mod codec;
+pub mod daly;
+pub mod manager;
+pub mod orchestrator;
+
+pub use codec::{crc32, Checkpoint, CodecError};
+pub use daly::{daly_interval, expected_runtime, young_interval};
+pub use manager::{read_exit_time, write_exit_time, CheckpointManager, EXIT_TIME_FILE};
+pub use orchestrator::{CampaignResult, Orchestrator};

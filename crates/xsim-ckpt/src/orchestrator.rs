@@ -1,0 +1,158 @@
+//! Restart orchestration: run → abort → cleanup → restart with the
+//! virtual timeline continued.
+//!
+//! This is the outer loop of the paper's Table II experiments: each row
+//! "represents the execution of 1,000 iterations, including any
+//! failure/restart cycle, with randomly injected MPI process failures"
+//! (§V-E). The orchestrator:
+//!
+//! 1. draws the run's random failure (rank uniform, time uniform in
+//!    2·MTTF_s relative to the run start — §V-C),
+//! 2. runs the application under the simulator,
+//! 3. on abort: persists the exit virtual time (§IV-E), removes
+//!    incomplete checkpoint sets (the shell-script step of §V-B), and
+//!    restarts with all VP clocks initialized to the carried time,
+//! 4. repeats until the application completes (or a restart budget is
+//!    exhausted).
+
+use crate::manager::{read_exit_time, write_exit_time, CheckpointManager};
+use std::sync::Arc;
+use xsim_core::vp::VpProgram;
+use xsim_core::{ExitKind, SimError, SimTime};
+use xsim_fault::FailureModel;
+use xsim_fs::FsStore;
+use xsim_mpi::{RunReport, SimBuilder};
+
+/// Outcome of a full run-to-completion campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Per-run reports, in execution order.
+    pub runs: Vec<RunReport>,
+    /// Whether the application eventually completed.
+    pub completed: bool,
+    /// Final virtual time (the Table II `E2` when `completed`).
+    pub finish_time: SimTime,
+    /// Total activated process failures across runs (Table II `F`).
+    pub failures: u64,
+}
+
+impl CampaignResult {
+    /// The experienced application mean time to failure: total virtual
+    /// time divided by the number of runs (Table II `MTTF_a = E2/(F+1)`).
+    pub fn application_mttf(&self) -> Option<SimTime> {
+        if self.failures == 0 {
+            return None;
+        }
+        Some(SimTime(
+            self.finish_time.as_nanos() / (self.failures + 1),
+        ))
+    }
+}
+
+/// The restart orchestrator. Configure with the failure model and a
+/// budget, then [`run_to_completion`](Self::run_to_completion).
+pub struct Orchestrator {
+    /// Random failure injection model applied per run.
+    pub model: FailureModel,
+    /// Seed for the failure draws (independent of the in-run seed).
+    pub seed: u64,
+    /// Maximum number of restarts before giving up.
+    pub max_restarts: usize,
+    /// Checkpoint manager matching the application's (for the
+    /// between-runs cleanup step).
+    pub manager: CheckpointManager,
+}
+
+impl Orchestrator {
+    /// Orchestrator with the paper's defaults.
+    pub fn new(model: FailureModel, seed: u64, manager: CheckpointManager) -> Self {
+        Orchestrator {
+            model,
+            seed,
+            max_restarts: 256,
+            manager,
+        }
+    }
+
+    /// Run the application to completion across failure/restart cycles.
+    ///
+    /// `make_builder` produces a fresh, fully configured [`SimBuilder`]
+    /// per run (machine models, workers, seed…); the orchestrator
+    /// overrides the store, start time and failure injection.
+    pub fn run_to_completion(
+        &self,
+        store: Arc<FsStore>,
+        program: Arc<dyn VpProgram>,
+        n_ranks: usize,
+        make_builder: impl Fn() -> SimBuilder,
+    ) -> Result<CampaignResult, SimError> {
+        let mut runs = Vec::new();
+        let mut failures = 0u64;
+        for run_idx in 0..=self.max_restarts as u64 {
+            // Continuous virtual timing (paper §IV-E): initialize all
+            // clocks with the previous run's persisted exit time.
+            let start = read_exit_time(&store).unwrap_or(SimTime::ZERO);
+            let mut builder = make_builder()
+                .fs_store(store.clone())
+                .start_time(start);
+            if let Some(draw) = self.model.draw(self.seed, run_idx, n_ranks) {
+                builder = builder.inject_failure(draw.rank, start + draw.at);
+            }
+            let report = builder.run(program.clone())?;
+            failures += report.sim.failures.len() as u64;
+            let exit_kind = report.sim.exit;
+            let exit_time = report.exit_time();
+            runs.push(report);
+
+            match exit_kind {
+                ExitKind::Completed => {
+                    return Ok(CampaignResult {
+                        runs,
+                        completed: true,
+                        finish_time: exit_time,
+                        failures,
+                    });
+                }
+                ExitKind::Aborted | ExitKind::FailedOnly => {
+                    // Persist the exit time and clean incomplete
+                    // checkpoint sets before restarting (paper §IV-E,
+                    // §V-B).
+                    write_exit_time(&store, exit_time);
+                    self.manager.cleanup_incomplete(&store, n_ranks as u32);
+                }
+            }
+        }
+        let finish_time = runs.last().map(|r| r.exit_time()).unwrap_or(SimTime::ZERO);
+        Ok(CampaignResult {
+            runs,
+            completed: false,
+            finish_time,
+            failures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_mttf_matches_table_ii_definition() {
+        let r = CampaignResult {
+            runs: Vec::new(),
+            completed: true,
+            finish_time: SimTime::from_secs(7957),
+            failures: 1,
+        };
+        // Table II row: E2 = 7957 s, F = 1 → MTTF_a = 3978.5 s.
+        assert_eq!(
+            r.application_mttf().unwrap(),
+            SimTime::from_secs_f64(3978.5)
+        );
+        let r0 = CampaignResult {
+            failures: 0,
+            ..r
+        };
+        assert!(r0.application_mttf().is_none());
+    }
+}

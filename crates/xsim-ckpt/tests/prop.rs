@@ -1,0 +1,71 @@
+//! Property-based tests for the checkpoint codec: round trips always
+//! succeed; any truncation or single-bit damage is always detected
+//! (paper §V-B's corrupted-checkpoint detection depends on this).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use xsim_ckpt::{crc32, Checkpoint};
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                "[a-z]{0,12}",
+                proptest::collection::vec(any::<u8>(), 0..200),
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(rank, iteration, sections)| {
+            let mut c = Checkpoint::new(rank, iteration);
+            for (name, data) in sections {
+                c = c.with_section(&name, Bytes::from(data));
+            }
+            c
+        })
+}
+
+proptest! {
+    #[test]
+    fn round_trip(c in arb_checkpoint()) {
+        let enc = c.encode();
+        let d = Checkpoint::decode(&enc).unwrap();
+        prop_assert_eq!(d, c);
+    }
+
+    #[test]
+    fn truncation_always_detected(c in arb_checkpoint(), cut_frac in 0.0f64..1.0) {
+        let enc = c.encode();
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < enc.len());
+        prop_assert!(Checkpoint::decode(&enc[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_damage_always_detected(c in arb_checkpoint(), pos_seed: usize, bit in 0u8..8) {
+        let enc = c.encode();
+        let mut dmg = enc.to_vec();
+        let pos = pos_seed % dmg.len();
+        dmg[pos] ^= 1 << bit;
+        prop_assert!(
+            Checkpoint::decode(&dmg).is_err(),
+            "flip at byte {} bit {} went undetected", pos, bit
+        );
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..256), pos_seed: usize, bit in 0u8..8) {
+        let original = crc32(&data);
+        let mut dmg = data.clone();
+        let pos = pos_seed % dmg.len();
+        dmg[pos] ^= 1 << bit;
+        prop_assert_ne!(crc32(&dmg), original);
+    }
+
+    #[test]
+    fn crc32_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(crc32(&data), crc32(&data));
+    }
+}

@@ -1,0 +1,143 @@
+//! Engine configuration.
+
+use crate::error::SimError;
+use crate::time::SimTime;
+
+/// Core engine configuration, independent of any machine model.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Number of simulated virtual processes (MPI ranks).
+    pub n_ranks: usize,
+    /// Number of native worker threads. `1` selects the reference
+    /// sequential engine; `>1` the conservative windowed parallel engine.
+    pub workers: usize,
+    /// Initial virtual clock of every VP. Nonzero when a run continues the
+    /// virtual timeline of a previous aborted run (paper §IV-E:
+    /// "continuous virtual timing after an abort and a following restart").
+    pub start_time: SimTime,
+    /// Master seed for all deterministic randomness in the simulation.
+    pub seed: u64,
+    /// Conservative lookahead: the minimum virtual delay of any
+    /// cross-rank event. Set by the machine layer from the minimum link
+    /// latency. Must be positive when `workers > 1`.
+    pub lookahead: SimTime,
+    /// If `true`, a scheduled process failure also activates while the VP
+    /// is blocked on communication (an *eager* extension). The paper's
+    /// strict semantics (`false`) activate a failure only when the VP's
+    /// clock is updated by its own execution (§IV-B).
+    pub fail_blocked: bool,
+    /// Safety valve: abort the run with
+    /// [`SimError::EventBudgetExceeded`] after this many events
+    /// (`u64::MAX` = unlimited).
+    pub max_events: u64,
+    /// Print simulator-internal informational messages (failure/abort
+    /// locations and times, shutdown statistics) to stderr, as xSim prints
+    /// them to the command line.
+    pub verbose: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            n_ranks: 1,
+            workers: 1,
+            start_time: SimTime::ZERO,
+            seed: 0x5eed_cafe_f00d_beef,
+            lookahead: SimTime::from_nanos(1),
+            fail_blocked: false,
+            max_events: u64::MAX,
+            verbose: false,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Validate invariants the engines rely on.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_ranks == 0 {
+            return Err(SimError::Config("n_ranks must be > 0".into()));
+        }
+        if self.workers == 0 {
+            return Err(SimError::Config("workers must be > 0".into()));
+        }
+        if self.workers > 1 && self.lookahead == SimTime::ZERO {
+            return Err(SimError::Config(
+                "parallel engine requires positive lookahead".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of ranks each worker shard owns (the last shard may own
+    /// fewer). Contiguous block partitioning keeps neighbour communication
+    /// of typical decompositions shard-local.
+    pub fn ranks_per_shard(&self) -> usize {
+        self.n_ranks.div_ceil(self.workers.min(self.n_ranks))
+    }
+
+    /// Effective number of shards (never more than ranks).
+    pub fn n_shards(&self) -> usize {
+        self.workers.min(self.n_ranks)
+    }
+
+    /// The shard owning `rank`.
+    pub fn shard_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_shard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        CoreConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let c = CoreConfig {
+            n_ranks: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = CoreConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig {
+            workers: 4,
+            n_ranks: 8,
+            ..Default::default()
+        };
+        c.lookahead = SimTime::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shard_partitioning_covers_all_ranks() {
+        let c = CoreConfig {
+            n_ranks: 10,
+            workers: 4,
+            ..Default::default()
+        };
+        assert_eq!(c.ranks_per_shard(), 3);
+        assert_eq!(c.n_shards(), 4);
+        let shards: Vec<usize> = (0..10).map(|r| c.shard_of(r)).collect();
+        assert_eq!(shards, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn more_workers_than_ranks_collapses() {
+        let c = CoreConfig {
+            n_ranks: 2,
+            workers: 8,
+            ..Default::default()
+        };
+        assert_eq!(c.n_shards(), 2);
+        assert_eq!(c.shard_of(0), 0);
+        assert_eq!(c.shard_of(1), 1);
+    }
+}

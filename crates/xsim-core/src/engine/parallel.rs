@@ -1,0 +1,153 @@
+//! Conservative windowed parallel engine.
+//!
+//! The rank space is partitioned into contiguous shards, one per worker
+//! thread. Execution proceeds in global windows `[W, W + lookahead)`
+//! where `W` is the minimum pending event time across shards (the lower
+//! bound on timestamps). Because every cross-rank event carries at least
+//! `lookahead` of virtual delay, all events that can fire inside the
+//! window are already present in their shard's queue when the window
+//! opens — the classic conservative synchronous-window PDES argument.
+//!
+//! Determinism: each shard processes its events in ascending key order,
+//! and `Call` actions only mutate destination-rank state, so per-rank
+//! event histories — and therefore all virtual times — are identical to
+//! the sequential engine's.
+
+use super::{assemble_report, SetupFn};
+use crate::config::CoreConfig;
+use crate::error::SimError;
+use crate::event::EventRec;
+use crate::kernel::Kernel;
+use crate::report::SimReport;
+use crate::time::SimTime;
+use crate::vp::VpProgram;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Shared synchronization state of one parallel run.
+struct SyncState {
+    /// Per-shard next pending event time (u64::MAX = idle).
+    next_times: Vec<AtomicU64>,
+    /// Per-shard inbound cross-shard events.
+    inboxes: Vec<Mutex<Vec<EventRec>>>,
+    /// Window barrier.
+    barrier: Barrier,
+    /// Aggregate processed-event counter for the budget check.
+    events: AtomicU64,
+    /// Set when any shard trips the event budget.
+    over_budget: AtomicBool,
+}
+
+/// Run the simulation across `cfg.n_shards()` worker threads.
+pub fn run_parallel(
+    cfg: CoreConfig,
+    program: Arc<dyn VpProgram>,
+    setup: SetupFn<'_>,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    let start = std::time::Instant::now();
+    let cfg = Arc::new(cfg);
+    let n_shards = cfg.n_shards();
+    let per = cfg.ranks_per_shard();
+
+    let sync = SyncState {
+        next_times: (0..n_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        inboxes: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+        barrier: Barrier::new(n_shards),
+        events: AtomicU64::new(0),
+        over_budget: AtomicBool::new(false),
+    };
+
+    let shards: Vec<Mutex<Option<Kernel>>> = (0..n_shards)
+        .map(|s| {
+            let lo = s * per;
+            let hi = ((s + 1) * per).min(cfg.n_ranks);
+            let mut k = Kernel::new(s, cfg.clone(), lo..hi, program.clone());
+            k.schedule_spawns();
+            Mutex::new(Some(k))
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for slot in shards.iter() {
+            let sync = &sync;
+            let cfg = &cfg;
+            scope.spawn(move || {
+                let mut k = slot.lock().take().expect("shard taken once");
+                setup(&mut k);
+                worker_loop(&mut k, sync, cfg);
+                *slot.lock() = Some(k);
+            });
+        }
+    });
+
+    if sync.over_budget.load(Ordering::Relaxed) {
+        return Err(SimError::EventBudgetExceeded {
+            processed: sync.events.load(Ordering::Relaxed),
+        });
+    }
+
+    let kernels: Vec<Kernel> = shards
+        .into_iter()
+        .map(|m| m.into_inner().expect("shard returned"))
+        .collect();
+    assemble_report(&cfg, kernels, start.elapsed())
+}
+
+fn worker_loop(k: &mut Kernel, sync: &SyncState, cfg: &CoreConfig) {
+    let lookahead = cfg.lookahead;
+    loop {
+        // Ingest cross-shard events delivered during the previous window.
+        {
+            let mut inbox = sync.inboxes[k.shard_id].lock();
+            for ev in inbox.drain(..) {
+                debug_assert!(k.owns(ev.key.dst));
+                k.queue.push(ev);
+            }
+        }
+
+        // Publish our lower bound and agree on the global one.
+        let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
+        sync.next_times[k.shard_id].store(mine, Ordering::SeqCst);
+        sync.barrier.wait();
+        let lbts = sync
+            .next_times
+            .iter()
+            .map(|t| t.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if lbts == u64::MAX || sync.over_budget.load(Ordering::Relaxed) {
+            // No shard has work (or the budget tripped): simulation over.
+            // One final barrier so nobody re-enters the inbox phase while
+            // another shard still flushes (there is nothing to flush —
+            // outboxes are drained before the previous barrier).
+            break;
+        }
+
+        // Process the window [lbts, lbts + lookahead).
+        let bound = SimTime(lbts).saturating_add(lookahead);
+        let mut processed = 0u64;
+        while let Some(ev) = k.queue.pop_before(bound) {
+            k.process(ev);
+            processed += 1;
+        }
+        let total = sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
+        if total > cfg.max_events {
+            sync.over_budget.store(true, Ordering::Relaxed);
+        }
+
+        // Flush cross-shard events, then make them visible to everyone
+        // before the next inbox ingest.
+        for (dst_shard, ev) in k.outbox.drain(..) {
+            debug_assert!(
+                ev.key.time >= bound,
+                "cross-shard event below lookahead window: {:?} < {:?}",
+                ev.key.time,
+                bound
+            );
+            sync.inboxes[dst_shard].lock().push(ev);
+        }
+        sync.barrier.wait();
+    }
+}

@@ -1,0 +1,527 @@
+//! The kernel: one shard of the simulation state.
+//!
+//! A kernel owns a contiguous block of VPs, their pending-event queue and
+//! the per-shard services of upper layers. The sequential engine uses a
+//! single kernel; the parallel engine runs one kernel per worker thread
+//! and exchanges cross-shard events at conservative window boundaries.
+//!
+//! ## Determinism contract
+//!
+//! * Events are processed in ascending `(time, dst, src, seq)` order per
+//!   destination rank.
+//! * Every scheduled event is attributed to the rank whose poll or event
+//!   is currently being processed; per-rank `seq` counters therefore
+//!   advance identically in the sequential and parallel engines.
+//! * `Call` actions must only mutate state belonging to their destination
+//!   rank (they may schedule events to any rank). This is what makes
+//!   shard-local processing equivalent to global-order processing.
+
+use crate::config::CoreConfig;
+use crate::ctx;
+use crate::error::{FailureRecord, Termination};
+use crate::event::{Action, EventKey, EventRec};
+use crate::queue::EventQueue;
+use crate::rank::Rank;
+use crate::rng::DetRng;
+use crate::service::{Service, ServiceMap};
+use crate::time::SimTime;
+use crate::vp::{Vp, VpExit, VpProgram, VpState, WaitClass};
+use std::ops::Range;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// Hook invoked after a VP has been failed (by injection activation or by
+/// its program reporting a failure). The MPI layer registers one to
+/// broadcast the simulator-internal failure notification (paper §IV-B).
+pub type FailHook = Arc<dyn Fn(&mut Kernel, Rank, SimTime) + Send + Sync>;
+
+/// One shard of the simulation.
+pub struct Kernel {
+    /// Index of this shard.
+    pub shard_id: usize,
+    /// Shared engine configuration.
+    pub cfg: Arc<CoreConfig>,
+    /// Ranks owned by this shard.
+    owned: Range<usize>,
+    /// VP table; `Some` only for owned ranks.
+    vps: Vec<Option<Vp>>,
+    /// Pending events for owned ranks.
+    pub(crate) queue: EventQueue,
+    /// Per-shard upper-layer state.
+    services: ServiceMap,
+    /// Per-rank event sequence counters (indexed by rank).
+    seq: Vec<u64>,
+    /// Events destined for other shards, flushed at window boundaries.
+    pub(crate) outbox: Vec<(usize, EventRec)>,
+    /// Program factory used by spawn events.
+    program: Arc<dyn VpProgram>,
+    /// Hooks to run when a VP fails.
+    fail_hooks: Vec<FailHook>,
+    /// Rank currently attributed for scheduling (being polled, or dst of
+    /// the event being processed).
+    attrib: Option<Rank>,
+    /// Number of owned VPs that have terminated.
+    done: usize,
+    /// Failures activated on this shard.
+    pub(crate) failures: Vec<FailureRecord>,
+    /// Earliest abort observed on this shard.
+    pub(crate) abort_time: Option<SimTime>,
+    /// Events processed by this shard.
+    pub(crate) events_processed: u64,
+    /// VP resumes performed by this shard.
+    pub(crate) context_switches: u64,
+}
+
+impl Kernel {
+    /// Create a shard owning `owned` and install its VPs.
+    pub fn new(
+        shard_id: usize,
+        cfg: Arc<CoreConfig>,
+        owned: Range<usize>,
+        program: Arc<dyn VpProgram>,
+    ) -> Self {
+        let n = cfg.n_ranks;
+        let mut vps: Vec<Option<Vp>> = (0..n).map(|_| None).collect();
+        for r in owned.clone() {
+            vps[r] = Some(Vp::new(Rank::new(r), cfg.start_time));
+        }
+        Kernel {
+            shard_id,
+            cfg,
+            owned,
+            vps,
+            queue: EventQueue::new(),
+            services: ServiceMap::new(),
+            seq: vec![0; n],
+            outbox: Vec::new(),
+            program,
+            fail_hooks: Vec::new(),
+            attrib: None,
+            done: 0,
+            failures: Vec::new(),
+            abort_time: None,
+            events_processed: 0,
+            context_switches: 0,
+        }
+    }
+
+    /// The ranks this shard owns.
+    pub fn owned_ranks(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+
+    /// Whether this shard owns `rank`.
+    #[inline]
+    pub fn owns(&self, rank: Rank) -> bool {
+        self.owned.contains(&rank.idx())
+    }
+
+    /// Number of owned VPs that have terminated.
+    pub fn done_count(&self) -> usize {
+        self.done
+    }
+
+    /// Whether every owned VP has terminated.
+    pub fn all_done(&self) -> bool {
+        self.done == self.owned.len()
+    }
+
+    /// Shared view of an owned VP.
+    #[inline]
+    pub fn vp(&self, rank: Rank) -> &Vp {
+        self.vps[rank.idx()]
+            .as_ref()
+            .expect("VP not owned by this shard")
+    }
+
+    /// Mutable view of an owned VP.
+    #[inline]
+    pub fn vp_mut(&mut self, rank: Rank) -> &mut Vp {
+        self.vps[rank.idx()]
+            .as_mut()
+            .expect("VP not owned by this shard")
+    }
+
+    /// The rank currently being executed or processed.
+    #[inline]
+    pub fn attributed_rank(&self) -> Rank {
+        self.attrib.expect("no rank in execution context")
+    }
+
+    /// Virtual clock of the attributed rank.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.vp(self.attributed_rank()).clock
+    }
+
+    /// Register a failure hook (MPI layer notification broadcast).
+    pub fn add_fail_hook(&mut self, hook: FailHook) {
+        self.fail_hooks.push(hook);
+    }
+
+    /// Install a service.
+    pub fn install_service<T: Service>(&mut self, svc: T) {
+        self.services.insert(svc);
+    }
+
+    /// Access a service.
+    pub fn service<T: Service>(&self) -> &T {
+        self.services.get::<T>().expect("service not installed")
+    }
+
+    /// Mutable access to a service.
+    pub fn service_mut<T: Service>(&mut self) -> &mut T {
+        self.services.get_mut::<T>().expect("service not installed")
+    }
+
+    /// Mutable access to a service that may not be installed.
+    pub fn try_service_mut<T: Service>(&mut self) -> Option<&mut T> {
+        self.services.get_mut::<T>()
+    }
+
+    /// Shared access to a service that may not be installed.
+    pub fn try_service<T: Service>(&self) -> Option<&T> {
+        self.services.get::<T>()
+    }
+
+    /// Temporarily remove a service to call kernel methods while holding
+    /// it; must be paired with [`put_back_service`](Self::put_back_service).
+    pub fn take_service<T: Service>(&mut self) -> Box<T> {
+        self.services.take::<T>().expect("service not installed")
+    }
+
+    /// Re-install a service removed with [`take_service`](Self::take_service).
+    pub fn put_back_service<T: Service>(&mut self, svc: Box<T>) {
+        self.services.put_back(svc);
+    }
+
+    /// A deterministic RNG stream derived from the master seed.
+    pub fn rng(&self, stream_tag: u64) -> DetRng {
+        DetRng::stream(self.cfg.seed, stream_tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Schedule `action` to fire at `dst` at absolute virtual time `time`.
+    ///
+    /// In parallel mode, events crossing shards must respect the
+    /// configured lookahead relative to the scheduling rank's clock; this
+    /// is checked in debug builds.
+    pub fn schedule_at(&mut self, time: SimTime, dst: Rank, action: Action) {
+        let src = self.attrib.unwrap_or(dst);
+        self.seq[src.idx()] += 1;
+        let rec = EventRec {
+            key: EventKey {
+                time,
+                dst,
+                src,
+                seq: self.seq[src.idx()],
+            },
+            action,
+        };
+        if self.owns(dst) {
+            self.queue.push(rec);
+        } else {
+            debug_assert!(
+                self.cfg.n_shards() > 1,
+                "single shard must own every rank"
+            );
+            let dst_shard = self.cfg.shard_of(dst.idx());
+            self.outbox.push((dst_shard, rec));
+        }
+    }
+
+    /// Schedule the initial spawn events for every owned rank.
+    pub fn schedule_spawns(&mut self) {
+        let t0 = self.cfg.start_time;
+        for r in self.owned.clone() {
+            let rank = Rank::new(r);
+            self.queue.push(EventRec {
+                key: EventKey {
+                    time: t0,
+                    dst: rank,
+                    src: rank,
+                    seq: 0,
+                },
+                action: Action::Spawn,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing
+    // ------------------------------------------------------------------
+
+    /// Fire one event. The caller (engine loop) guarantees events arrive
+    /// in non-decreasing key order per destination rank.
+    pub fn process(&mut self, ev: EventRec) {
+        self.events_processed += 1;
+        let dst = ev.key.dst;
+        let prev_attrib = self.attrib;
+        self.attrib = Some(dst);
+        match ev.action {
+            Action::Spawn => {
+                if self.vp(dst).state == VpState::Fresh {
+                    let fut = self.program.clone().spawn(dst);
+                    let vp = self.vp_mut(dst);
+                    vp.future = Some(fut);
+                    vp.state = VpState::Runnable;
+                    vp.woken = true;
+                    self.resume(dst);
+                }
+            }
+            Action::WakeToken(token) => {
+                let vp = self.vp_mut(dst);
+                if vp.state == VpState::Blocked && vp.wait_token == token {
+                    self.wake(dst, ev.key.time);
+                }
+            }
+            Action::WakeMessage => {
+                let vp = self.vp_mut(dst);
+                if vp.state == VpState::Blocked && vp.wait_class == WaitClass::Message {
+                    self.wake(dst, ev.key.time);
+                }
+            }
+            Action::Call(f) => f(self),
+        }
+        self.attrib = prev_attrib;
+    }
+
+    /// Wake a blocked VP at virtual time `time` (clock advances to at
+    /// least `time`) and run it until it blocks again or terminates.
+    pub fn wake(&mut self, rank: Rank, time: SimTime) {
+        let vp = self.vp_mut(rank);
+        if vp.state != VpState::Blocked {
+            return;
+        }
+        vp.state = VpState::Runnable;
+        vp.woken = true;
+        vp.clock = vp.clock.max(time);
+        self.resume(rank);
+    }
+
+    /// Wake a VP blocked on a message-class wait, if it is. Returns
+    /// whether a wake happened. Upper layers call this after delivering
+    /// data that may satisfy the wait.
+    pub fn wake_if_message_blocked(&mut self, rank: Rank, time: SimTime) -> bool {
+        let vp = self.vp_mut(rank);
+        if vp.state == VpState::Blocked
+            && matches!(vp.wait_class, WaitClass::Message | WaitClass::FileIo)
+        {
+            self.wake(rank, time);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Poll a runnable VP. Applies the failure/abort activation rules of
+    /// the paper before handing control to the VP: the VP clock has just
+    /// been updated, so if it reached or passed the scheduled time of
+    /// failure (or abort), the VP is terminated instead of resumed.
+    fn resume(&mut self, rank: Rank) {
+        // Activation checks (paper §IV-B: "the simulated process is
+        // failed with the simulated process time the simulator regains
+        // control when it has reached or passed the time of failure").
+        let vp = self.vp_mut(rank);
+        debug_assert_eq!(vp.state, VpState::Runnable);
+        let clock = vp.clock;
+        if let Some(tof) = vp.time_of_failure {
+            if clock >= tof {
+                self.kill_failed(rank, tof, clock);
+                return;
+            }
+        }
+        if let Some(ab) = vp.abort_at {
+            if clock >= ab {
+                self.terminate_aborted(rank, clock);
+                return;
+            }
+        }
+
+        self.context_switches += 1;
+        let vp = self.vp_mut(rank);
+        vp.state = VpState::Running;
+        vp.resumes += 1;
+        let mut fut = vp.future.take().expect("runnable VP must have a future");
+
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let prev_attrib = self.attrib;
+        self.attrib = Some(rank);
+        let poll = ctx::enter(self, || fut.as_mut().poll(&mut cx));
+        self.attrib = prev_attrib;
+
+        match poll {
+            Poll::Pending => {
+                let vp = self.vp_mut(rank);
+                debug_assert_eq!(
+                    vp.state,
+                    VpState::Blocked,
+                    "a VP future must only return Pending via ctx::block"
+                );
+                vp.future = Some(fut);
+            }
+            Poll::Ready(exit) => {
+                drop(fut);
+                let clock = self.vp(rank).clock;
+                match exit {
+                    VpExit::Finished => {
+                        let vp = self.vp_mut(rank);
+                        vp.state = VpState::Done;
+                        vp.termination = Some(Termination::Finished);
+                        self.done += 1;
+                    }
+                    VpExit::Failed => {
+                        // Program-reported failure (e.g. returning from
+                        // main without finalize): treat like an injected
+                        // failure activating right now.
+                        let vp = self.vp_mut(rank);
+                        vp.state = VpState::Done;
+                        vp.termination = Some(Termination::Failed(clock));
+                        self.done += 1;
+                        self.record_failure(rank, clock, clock);
+                        self.run_fail_hooks(rank, clock);
+                    }
+                    VpExit::Aborted => {
+                        self.note_abort(clock);
+                        let vp = self.vp_mut(rank);
+                        vp.state = VpState::Done;
+                        vp.termination = Some(Termination::Aborted(clock));
+                        self.done += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forcibly fail a VP: drop its future, record the failure, notify
+    /// upper layers. Must not target the VP currently being polled.
+    pub fn kill_failed(&mut self, rank: Rank, scheduled: SimTime, actual: SimTime) {
+        let vp = self.vp_mut(rank);
+        if vp.state == VpState::Done {
+            return;
+        }
+        debug_assert!(
+            vp.state != VpState::Running,
+            "cannot kill the VP currently being polled"
+        );
+        vp.future = None;
+        vp.state = VpState::Done;
+        vp.clock = vp.clock.max(actual);
+        let actual = vp.clock;
+        vp.termination = Some(Termination::Failed(actual));
+        self.done += 1;
+        if self.cfg.verbose {
+            eprintln!("xsim: process failure injected at rank {rank} at time {actual}");
+        }
+        self.record_failure(rank, scheduled, actual);
+        self.run_fail_hooks(rank, actual);
+    }
+
+    /// Terminate a VP due to (propagated) abort activation.
+    pub fn terminate_aborted(&mut self, rank: Rank, time: SimTime) {
+        let vp = self.vp_mut(rank);
+        if vp.state == VpState::Done {
+            return;
+        }
+        debug_assert!(vp.state != VpState::Running);
+        vp.future = None;
+        vp.state = VpState::Done;
+        vp.clock = vp.clock.max(time);
+        let t = vp.clock;
+        vp.termination = Some(Termination::Aborted(t));
+        self.done += 1;
+        self.note_abort(t);
+    }
+
+    /// Record the earliest abort time seen on this shard.
+    pub fn note_abort(&mut self, time: SimTime) {
+        self.abort_time = Some(match self.abort_time {
+            Some(t) => t.min(time),
+            None => time,
+        });
+        if self.cfg.verbose {
+            eprintln!("xsim: MPI abort observed at time {time}");
+        }
+    }
+
+    fn record_failure(&mut self, rank: Rank, scheduled: SimTime, actual: SimTime) {
+        self.failures.push(FailureRecord {
+            rank,
+            scheduled,
+            actual,
+        });
+    }
+
+    fn run_fail_hooks(&mut self, rank: Rank, time: SimTime) {
+        let hooks = self.fail_hooks.clone();
+        for h in hooks {
+            h(self, rank, time);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection API (used by xsim-fault)
+    // ------------------------------------------------------------------
+
+    /// Set the scheduled (earliest) time of failure for an owned rank.
+    /// With `fail_blocked` configured, also schedules an eager activation
+    /// event at that time.
+    pub fn set_time_of_failure(&mut self, rank: Rank, tof: SimTime) {
+        self.vp_mut(rank).time_of_failure = Some(tof);
+        if self.cfg.fail_blocked {
+            self.schedule_at(
+                tof,
+                rank,
+                Action::Call(Box::new(move |k: &mut Kernel| {
+                    let vp = k.vp_mut(rank);
+                    if vp.state == VpState::Blocked && vp.wait_class != WaitClass::Compute {
+                        let actual = vp.clock.max(tof);
+                        k.kill_failed(rank, tof, actual);
+                    }
+                })),
+            );
+        }
+    }
+
+    /// Set the earliest time at which `rank` must observe a propagated
+    /// abort (paper §IV-D activation semantics).
+    pub fn set_abort_at(&mut self, rank: Rank, time: SimTime) {
+        let vp = self.vp_mut(rank);
+        let t = match vp.abort_at {
+            Some(existing) => existing.min(time),
+            None => time,
+        };
+        vp.abort_at = Some(t);
+    }
+
+    /// Snapshot of final clocks and terminations for owned ranks, used by
+    /// the engines to assemble the report.
+    pub(crate) fn drain_results(&mut self) -> Vec<(usize, SimTime, Termination)> {
+        self.owned
+            .clone()
+            .map(|r| {
+                let vp = self.vps[r].as_ref().expect("owned");
+                let term = vp.termination.unwrap_or(Termination::Finished);
+                (r, vp.clock, term)
+            })
+            .collect()
+    }
+
+    /// Blocked-VP diagnostics for deadlock reporting.
+    pub(crate) fn blocked_summary(&self) -> Vec<(Rank, SimTime, &'static str)> {
+        self.owned
+            .clone()
+            .filter_map(|r| {
+                let vp = self.vps[r].as_ref().expect("owned");
+                match vp.state {
+                    VpState::Done => None,
+                    _ => Some((vp.rank, vp.clock, vp.wait_desc)),
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,156 @@
+//! The pending-event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that (a) pops events in ascending
+//! [`EventKey`] order and (b) exposes the next
+//! event time, which the conservative parallel engine needs to compute the
+//! global lower bound on timestamps (LBTS).
+
+use crate::event::{EventKey, EventRec};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct HeapEntry(EventRec);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest key first.
+        other.0.key.cmp(&self.0.key)
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue of pending events with deterministic tie-breaking.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    /// Insert an event.
+    #[inline]
+    pub fn push(&mut self, ev: EventRec) {
+        self.heap.push(HeapEntry(ev));
+    }
+
+    /// Remove and return the earliest event (smallest key).
+    #[inline]
+    pub fn pop(&mut self) -> Option<EventRec> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Remove the earliest event only if it fires strictly before `bound`.
+    /// This is the primitive the windowed parallel engine drains with.
+    #[inline]
+    pub fn pop_before(&mut self, bound: SimTime) -> Option<EventRec> {
+        if self.next_time()? < bound {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[inline]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.key.time)
+    }
+
+    /// Key of the earliest pending event, if any.
+    #[inline]
+    pub fn next_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.0.key)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Action;
+    use crate::rank::Rank;
+
+    fn ev(t: u64, dst: u32, src: u32, seq: u64) -> EventRec {
+        EventRec {
+            key: EventKey {
+                time: SimTime(t),
+                dst: Rank(dst),
+                src: Rank(src),
+                seq,
+            },
+            action: Action::Spawn,
+        }
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(5, 0, 0, 0));
+        q.push(ev(1, 2, 0, 1));
+        q.push(ev(1, 1, 0, 2));
+        q.push(ev(1, 1, 0, 0));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        assert_eq!(order[0].seq, 0);
+        assert_eq!(order[0].dst, Rank(1));
+        assert_eq!(order[1].seq, 2);
+        assert_eq!(order[2].dst, Rank(2));
+        assert_eq!(order[3].time, SimTime(5));
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, 0, 0, 0));
+        q.push(ev(3, 0, 0, 1));
+        assert_eq!(q.pop_before(SimTime(5)).unwrap().key.time, SimTime(3));
+        assert!(q.pop_before(SimTime(5)).is_none());
+        assert!(q.pop_before(SimTime(10)).is_none(), "bound is exclusive");
+        assert_eq!(q.pop_before(SimTime(11)).unwrap().key.time, SimTime(10));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_tracks_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(ev(7, 0, 0, 0));
+        q.push(ev(2, 0, 0, 1));
+        assert_eq!(q.next_time(), Some(SimTime(2)));
+        assert_eq!(q.len(), 2);
+    }
+}

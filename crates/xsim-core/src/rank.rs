@@ -1,0 +1,58 @@
+//! Simulated process (virtual process) identifiers.
+
+use std::fmt;
+
+/// Identifier of a virtual process — a simulated MPI rank in
+/// `MPI_COMM_WORLD` terms.
+///
+/// xSim scales to 2^27 ranks (paper §II-A); `u32` comfortably covers that
+/// while keeping event records small.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Construct from a `usize` index, panicking on overflow (rank counts
+    /// beyond u32 are not supported).
+    #[inline]
+    pub fn new(r: usize) -> Self {
+        debug_assert!(r <= u32::MAX as usize, "rank out of range");
+        Rank(r as u32)
+    }
+
+    /// The rank as a `usize` index.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(r: u32) -> Self {
+        Rank(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(Rank::new(17).idx(), 17);
+        assert_eq!(Rank::from(4u32), Rank(4));
+        assert_eq!(format!("{}", Rank(9)), "9");
+        assert_eq!(format!("{:?}", Rank(9)), "r9");
+    }
+}

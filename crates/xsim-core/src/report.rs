@@ -1,0 +1,141 @@
+//! End-of-run reporting.
+//!
+//! xSim prints per-process timing statistics (minimum, maximum, average)
+//! during shutdown, for aborted and non-aborted executions alike (paper
+//! §IV-D). [`SimReport`] captures the same data programmatically.
+
+use crate::error::{FailureRecord, Termination};
+use crate::time::SimTime;
+
+/// How a whole simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Every VP finished normally.
+    Completed,
+    /// At least one VP aborted (simulated `MPI_Abort`); the run terminated
+    /// after all VPs aborted or finished.
+    Aborted,
+    /// Every VP that didn't finish was failed by injection and no abort
+    /// was triggered (possible with non-fatal error handlers).
+    FailedOnly,
+}
+
+/// Aggregate min/max/average of per-VP final clocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpTimingStats {
+    /// Smallest final VP clock.
+    pub min: SimTime,
+    /// Largest final VP clock — the "simulated time of the application
+    /// exit" xSim persists for restart continuation (paper §IV-E).
+    pub max: SimTime,
+    /// Mean final VP clock.
+    pub avg: SimTime,
+}
+
+impl VpTimingStats {
+    /// Compute stats from final clocks. Returns zeros for an empty slice.
+    pub fn from_clocks(clocks: &[SimTime]) -> Self {
+        if clocks.is_empty() {
+            return VpTimingStats {
+                min: SimTime::ZERO,
+                max: SimTime::ZERO,
+                avg: SimTime::ZERO,
+            };
+        }
+        let mut min = SimTime::MAX;
+        let mut max = SimTime::ZERO;
+        let mut total: u128 = 0;
+        for &c in clocks {
+            min = min.min(c);
+            max = max.max(c);
+            total += c.as_nanos() as u128;
+        }
+        VpTimingStats {
+            min,
+            max,
+            avg: SimTime((total / clocks.len() as u128) as u64),
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// How the run ended.
+    pub exit: ExitKind,
+    /// Final virtual clock of each VP, indexed by rank.
+    pub final_clocks: Vec<SimTime>,
+    /// Per-VP termination cause, indexed by rank.
+    pub terminations: Vec<Termination>,
+    /// Min/max/avg of the final clocks.
+    pub timing: VpTimingStats,
+    /// Process failures that actually activated during the run, in
+    /// activation order.
+    pub failures: Vec<FailureRecord>,
+    /// Virtual time of the first abort, if any.
+    pub abort_time: Option<SimTime>,
+    /// Total number of events processed.
+    pub events_processed: u64,
+    /// Total number of VP resumes (context switches into VPs).
+    pub context_switches: u64,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+}
+
+impl SimReport {
+    /// The maximum simulated MPI process time — what xSim writes out at
+    /// application exit so a restart can continue the virtual timeline
+    /// (paper §IV-E).
+    pub fn exit_time(&self) -> SimTime {
+        self.timing.max
+    }
+
+    /// Render the shutdown summary xSim prints on the command line.
+    pub fn summary(&self) -> String {
+        format!(
+            "xsim: {:?} after {} events, {} context switches; \
+             process times min {} / max {} / avg {}; {} failure(s){}",
+            self.exit,
+            self.events_processed,
+            self.context_switches,
+            self.timing.min,
+            self.timing.max,
+            self.timing.avg,
+            self.failures.len(),
+            match self.abort_time {
+                Some(t) => format!("; aborted at {t}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_clocks() {
+        let clocks = [SimTime(10), SimTime(20), SimTime(60)];
+        let s = VpTimingStats::from_clocks(&clocks);
+        assert_eq!(s.min, SimTime(10));
+        assert_eq!(s.max, SimTime(60));
+        assert_eq!(s.avg, SimTime(30));
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = VpTimingStats::from_clocks(&[]);
+        assert_eq!(s.min, SimTime::ZERO);
+        assert_eq!(s.max, SimTime::ZERO);
+        assert_eq!(s.avg, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats_single() {
+        let s = VpTimingStats::from_clocks(&[SimTime(42)]);
+        assert_eq!(s.min, SimTime(42));
+        assert_eq!(s.max, SimTime(42));
+        assert_eq!(s.avg, SimTime(42));
+    }
+}

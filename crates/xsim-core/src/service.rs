@@ -1,0 +1,92 @@
+//! Per-shard service registry.
+//!
+//! Upper layers (the simulated MPI layer, machine models, fault
+//! controllers) keep their per-rank state in *services* attached to each
+//! kernel shard. Services are looked up by type, so layers stay decoupled:
+//! xsim-core never names them.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// A kernel-resident service: any `'static + Send` state container.
+pub trait Service: Any + Send {}
+impl<T: Any + Send> Service for T {}
+
+/// Type-indexed map of services installed on one kernel shard.
+#[derive(Default)]
+pub struct ServiceMap {
+    map: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl ServiceMap {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the service of type `T`.
+    pub fn insert<T: Service>(&mut self, svc: T) {
+        self.map.insert(TypeId::of::<T>(), Box::new(svc));
+    }
+
+    /// Shared access to the service of type `T`, if installed.
+    pub fn get<T: Service>(&self) -> Option<&T> {
+        self.map
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutable access to the service of type `T`, if installed.
+    pub fn get_mut<T: Service>(&mut self) -> Option<&mut T> {
+        self.map
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Remove and return the service of type `T` (used by hooks that need
+    /// to call into the kernel while holding the service).
+    pub fn take<T: Service>(&mut self) -> Option<Box<T>> {
+        self.map
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast::<T>().ok())
+    }
+
+    /// Re-install a service previously [`take`](Self::take)n.
+    pub fn put_back<T: Service>(&mut self, svc: Box<T>) {
+        self.map.insert(TypeId::of::<T>(), svc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u32);
+
+    #[test]
+    fn insert_get_mutate() {
+        let mut m = ServiceMap::new();
+        assert!(m.get::<Counter>().is_none());
+        m.insert(Counter(1));
+        m.get_mut::<Counter>().unwrap().0 += 1;
+        assert_eq!(m.get::<Counter>().unwrap().0, 2);
+    }
+
+    #[test]
+    fn take_and_put_back() {
+        let mut m = ServiceMap::new();
+        m.insert(Counter(7));
+        let c = m.take::<Counter>().unwrap();
+        assert!(m.get::<Counter>().is_none());
+        m.put_back(c);
+        assert_eq!(m.get::<Counter>().unwrap().0, 7);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut m = ServiceMap::new();
+        m.insert(Counter(1));
+        m.insert(Counter(9));
+        assert_eq!(m.get::<Counter>().unwrap().0, 9);
+    }
+}

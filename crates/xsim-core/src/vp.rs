@@ -1,0 +1,216 @@
+//! Virtual processes (VPs).
+//!
+//! A VP is the simulated counterpart of one MPI process: a coroutine with
+//! its own virtual clock, suspended whenever it performs a simulator call
+//! (paper §IV-A). The kernel owns the VP table and drives each VP's future.
+
+use crate::error::Termination;
+use crate::rank::Rank;
+use crate::time::SimTime;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+
+/// The outcome a VP program reports when it returns.
+///
+/// Upper layers map their own semantics onto this: the MPI layer returns
+/// [`VpExit::Failed`] for a program that returns without having called
+/// finalize (one of the paper's failure-injection methods, §IV-B) and
+/// [`VpExit::Aborted`] when `MPI_Abort` semantics unwound the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpExit {
+    /// Clean exit.
+    Finished,
+    /// The program itself is reporting a process failure.
+    Failed,
+    /// The program unwound due to (local or propagated) abort semantics.
+    Aborted,
+}
+
+/// The future type a VP runs.
+pub type VpFuture = Pin<Box<dyn Future<Output = VpExit> + Send>>;
+
+/// Factory for VP programs: the engine calls [`VpProgram::spawn`] once per
+/// rank at startup. Implementations are typically provided by the MPI
+/// layer, wrapping a user application.
+pub trait VpProgram: Send + Sync {
+    /// Create the coroutine for `rank`. The returned future may only
+    /// interact with the simulator through the [`crate::ctx`] functions
+    /// (and APIs layered on them), and only while being polled by the
+    /// engine.
+    fn spawn(&self, rank: Rank) -> VpFuture;
+}
+
+impl<F> VpProgram for F
+where
+    F: Fn(Rank) -> VpFuture + Send + Sync,
+{
+    fn spawn(&self, rank: Rank) -> VpFuture {
+        self(rank)
+    }
+}
+
+/// Token identifying one particular `block()` call of a VP. Scheduled
+/// wakeups carry the token of the wait they intend to satisfy, so stale
+/// wakeups (e.g. a compute completion arriving after the VP was failed and
+/// restarted into a different wait) are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WaitToken(pub u64);
+
+/// What kind of event can legitimately wake a blocked VP.
+///
+/// The distinction matters for failure semantics: xSim releases *message*
+/// waits when a peer fails or the job aborts (paper §IV-C/D), but a VP in
+/// the middle of a compute phase keeps computing and only observes the
+/// failure/abort when the simulator regains control at the end of the
+/// phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitClass {
+    /// Blocked until a scheduled wakeup (compute/sleep completion). Only a
+    /// [`crate::event::Action::WakeToken`] with the matching token wakes it.
+    Compute,
+    /// Blocked on simulated communication (or any simulator-internal
+    /// message). Woken by `WakeMessage`, by a matching `WakeToken`, or by
+    /// upper-layer `Call` actions (failure/abort releases).
+    Message,
+    /// Blocked on a simulated file system operation.
+    FileIo,
+    /// Blocked forever pending kernel-side termination (self-injected
+    /// failure).
+    Doomed,
+}
+
+/// Scheduling state of a VP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpState {
+    /// Never yet polled (spawn event pending).
+    Fresh,
+    /// Currently being polled by a worker.
+    Running,
+    /// Suspended; `wait_class`/`wait_token` describe what it waits for.
+    Blocked,
+    /// Woken; will be polled promptly by the kernel.
+    Runnable,
+    /// Terminated (see `termination` for how).
+    Done,
+}
+
+/// Per-VP bookkeeping. The future itself lives in an `Option` so the
+/// kernel can move it out while polling (avoiding aliasing the VP table)
+/// and drop it to force-terminate the VP.
+pub struct Vp {
+    /// This VP's rank.
+    pub rank: Rank,
+    /// The VP's virtual clock. Advances only at simulator calls.
+    pub clock: SimTime,
+    /// Scheduling state.
+    pub state: VpState,
+    /// The coroutine, while alive and not being polled.
+    pub future: Option<VpFuture>,
+    /// What the VP is blocked on (valid when `state == Blocked`).
+    pub wait_class: WaitClass,
+    /// Token of the current wait; incremented by every `begin_wait`.
+    pub wait_token: WaitToken,
+    /// Set by the kernel when a wakeup was delivered; cleared by the
+    /// blocking future when it observes it.
+    pub woken: bool,
+    /// Human-readable description of the current wait, for deadlock
+    /// diagnostics (static to keep the hot path allocation-free).
+    pub wait_desc: &'static str,
+    /// Scheduled (earliest) time of failure, if an injection targets this
+    /// VP. `None` = "fail never" (the paper encodes this as time 0).
+    pub time_of_failure: Option<SimTime>,
+    /// Earliest time at which this VP must observe a propagated abort.
+    pub abort_at: Option<SimTime>,
+    /// How the VP terminated (valid when `state == Done`).
+    pub termination: Option<Termination>,
+    /// Number of times this VP was resumed (context switches in).
+    pub resumes: u64,
+}
+
+impl Vp {
+    /// A fresh VP with its clock at `start`.
+    pub fn new(rank: Rank, start: SimTime) -> Self {
+        Vp {
+            rank,
+            clock: start,
+            state: VpState::Fresh,
+            future: None,
+            wait_class: WaitClass::Message,
+            wait_token: WaitToken(0),
+            woken: false,
+            wait_desc: "",
+            time_of_failure: None,
+            abort_at: None,
+            termination: None,
+            resumes: 0,
+        }
+    }
+
+    /// Whether the VP has terminated (finished, failed, or aborted).
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.state == VpState::Done
+    }
+
+    /// Whether the VP terminated by injected failure.
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.termination, Some(Termination::Failed(_)))
+    }
+
+    /// Begin a new wait: bump the token, record the class and description.
+    /// Returns the token the wakeup must carry.
+    pub fn begin_wait(&mut self, class: WaitClass, desc: &'static str) -> WaitToken {
+        debug_assert_eq!(self.state, VpState::Running);
+        self.wait_token = WaitToken(self.wait_token.0 + 1);
+        self.wait_class = class;
+        self.wait_desc = desc;
+        self.woken = false;
+        self.state = VpState::Blocked;
+        self.wait_token
+    }
+
+    /// Consume a delivered wakeup, if any. Called by blocking futures on
+    /// re-poll.
+    pub fn take_woken(&mut self) -> bool {
+        std::mem::take(&mut self.woken)
+    }
+}
+
+impl fmt::Debug for Vp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vp")
+            .field("rank", &self.rank)
+            .field("clock", &self.clock)
+            .field("state", &self.state)
+            .field("wait", &self.wait_desc)
+            .field("tof", &self.time_of_failure)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_wait_bumps_token_and_blocks() {
+        let mut vp = Vp::new(Rank(0), SimTime::ZERO);
+        vp.state = VpState::Running;
+        let t1 = vp.begin_wait(WaitClass::Compute, "compute");
+        assert_eq!(vp.state, VpState::Blocked);
+        assert_eq!(vp.wait_desc, "compute");
+        vp.state = VpState::Running;
+        let t2 = vp.begin_wait(WaitClass::Message, "recv");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn take_woken_is_one_shot() {
+        let mut vp = Vp::new(Rank(0), SimTime::ZERO);
+        vp.woken = true;
+        assert!(vp.take_woken());
+        assert!(!vp.take_woken());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the PDES substrate: time arithmetic, the
+//! event order, queue behaviour, and sequential/parallel engine
+//! equivalence over randomized programs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xsim_core::engine;
+use xsim_core::event::{Action, EventKey, EventRec};
+use xsim_core::queue::EventQueue;
+use xsim_core::vp::{VpExit, VpFuture};
+use xsim_core::{ctx, CoreConfig, Kernel, Rank, SimTime};
+
+proptest! {
+    #[test]
+    fn simtime_add_is_monotone(a: u64, b: u64) {
+        let (ta, tb) = (SimTime(a), SimTime(b));
+        prop_assert!(ta + tb >= ta);
+        prop_assert!(ta + tb >= tb);
+        prop_assert_eq!(ta + tb, tb + ta);
+    }
+
+    #[test]
+    fn simtime_sub_then_add_round_trips_when_no_clamp(a: u64, b: u64) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!((SimTime(hi) - SimTime(lo)) + SimTime(lo), SimTime(hi));
+    }
+
+    #[test]
+    fn secs_f64_round_trip_is_close(s in 0.0f64..1e6) {
+        let t = SimTime::from_secs_f64(s);
+        prop_assert!((t.as_secs_f64() - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(keys in proptest::collection::vec((any::<u64>(), 0u32..64, 0u32..64, any::<u64>()), 0..100)) {
+        let mut q = EventQueue::new();
+        for (t, dst, src, seq) in &keys {
+            q.push(EventRec {
+                key: EventKey { time: SimTime(*t), dst: Rank(*dst), src: Rank(*src), seq: *seq },
+                action: Action::Spawn,
+            });
+        }
+        let mut popped: Vec<EventKey> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e.key);
+        }
+        prop_assert_eq!(popped.len(), keys.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+}
+
+/// A randomized program: each rank performs a schedule of sleeps and
+/// cross-rank wakes derived from the per-rank opcode list.
+fn random_program(
+    opcodes: Arc<Vec<Vec<u8>>>,
+    n_ranks: usize,
+) -> impl Fn(Rank) -> VpFuture + Send + Sync {
+    move |rank: Rank| {
+        let ops = opcodes[rank.idx() % opcodes.len()].clone();
+        let n = n_ranks;
+        Box::pin(async move {
+            for op in ops {
+                match op % 3 {
+                    0 => ctx::sleep(SimTime::from_micros(1 + op as u64)).await,
+                    1 => {
+                        // Wake a derived peer after a lookahead-respecting
+                        // delay.
+                        let peer = Rank::new((rank.idx() + op as usize + 1) % n);
+                        ctx::with_kernel(|k, me| {
+                            let t = k.vp(me).clock + SimTime::from_micros(2);
+                            k.schedule_at(t, peer, Action::WakeMessage);
+                        });
+                    }
+                    _ => ctx::yield_now().await,
+                }
+            }
+            VpExit::Finished
+        }) as VpFuture
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        opcodes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..6),
+        n_ranks in 1usize..24,
+    ) {
+        let opcodes = Arc::new(opcodes);
+        let run = |workers: usize| {
+            let cfg = CoreConfig {
+                n_ranks,
+                workers,
+                lookahead: SimTime::from_micros(1),
+                ..Default::default()
+            };
+            let setup = |_: &mut Kernel| {};
+            engine::run(
+                cfg,
+                Arc::new(random_program(opcodes.clone(), n_ranks)),
+                &setup,
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        for workers in [2usize, 5] {
+            let par = run(workers);
+            prop_assert_eq!(&par.final_clocks, &seq.final_clocks, "workers={}", workers);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! MTTF-driven random failure injection.
+//!
+//! The paper's Table II experiments choose "a random MPI rank within the
+//! total number of simulated MPI ranks and a random time within
+//! 2·MTTF_s", with the draw repeated independently for every application
+//! run — start→finish/failure and restart→finish/failure (§V-C). A drawn
+//! time beyond the run's actual duration simply never activates, which
+//! is how runs with zero failures arise.
+
+use xsim_core::{DetRng, SimTime};
+
+/// Distribution of random failure times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModel {
+    /// The paper's worst-case model: failure time uniform in
+    /// `[0, 2·MTTF)` — "this evenly distributed simulated system MTTF
+    /// applies to each application run separately" (§V-C).
+    UniformTwiceMttf {
+        /// System mean time to failure.
+        mttf: SimTime,
+    },
+    /// Exponential inter-failure times with the given mean (extension).
+    Exponential {
+        /// System mean time to failure.
+        mttf: SimTime,
+    },
+    /// Never inject (baseline rows of Table II).
+    None,
+}
+
+/// One per-run draw: which rank fails and when (relative to run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDraw {
+    /// The rank that will fail (world rank).
+    pub rank: usize,
+    /// Scheduled failure time relative to the run's start.
+    pub at: SimTime,
+}
+
+impl FailureModel {
+    /// Draw the failure for run number `run_index` (0 = initial run,
+    /// 1 = first restart, …). Deterministic in `(seed, run_index)`.
+    pub fn draw(&self, seed: u64, run_index: u64, n_ranks: usize) -> Option<RunDraw> {
+        let mut rng = DetRng::stream(seed, DetRng::STREAM_FAILURES ^ run_index.rotate_left(24));
+        match *self {
+            FailureModel::None => None,
+            FailureModel::UniformTwiceMttf { mttf } => {
+                let span = 2 * mttf.as_nanos().max(1);
+                Some(RunDraw {
+                    rank: rng.gen_index(n_ranks),
+                    at: SimTime(rng.gen_range_u64(span)),
+                })
+            }
+            FailureModel::Exponential { mttf } => Some(RunDraw {
+                rank: rng.gen_index(n_ranks),
+                at: SimTime::from_secs_f64(rng.gen_exponential(mttf.as_secs_f64())),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_draws() {
+        assert!(FailureModel::None.draw(1, 0, 10).is_none());
+    }
+
+    #[test]
+    fn uniform_draw_is_deterministic_and_bounded() {
+        let m = FailureModel::UniformTwiceMttf {
+            mttf: SimTime::from_secs(3000),
+        };
+        let a = m.draw(42, 0, 32768).unwrap();
+        let b = m.draw(42, 0, 32768).unwrap();
+        assert_eq!(a, b);
+        for run in 0..200 {
+            let d = m.draw(42, run, 32768).unwrap();
+            assert!(d.rank < 32768);
+            assert!(d.at < SimTime::from_secs(6000));
+        }
+    }
+
+    #[test]
+    fn different_runs_draw_differently() {
+        let m = FailureModel::UniformTwiceMttf {
+            mttf: SimTime::from_secs(3000),
+        };
+        let a = m.draw(42, 0, 32768).unwrap();
+        let b = m.draw(42, 1, 32768).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_mean_is_near_mttf() {
+        let mttf = SimTime::from_secs(3000);
+        let m = FailureModel::UniformTwiceMttf { mttf };
+        let n = 4000;
+        let sum: f64 = (0..n)
+            .map(|i| m.draw(7, i, 100).unwrap().at.as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 3000.0).abs() < 100.0,
+            "uniform [0, 2*MTTF) mean {mean} should be ~MTTF"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_is_near_mttf() {
+        let mttf = SimTime::from_secs(1000);
+        let m = FailureModel::Exponential { mttf };
+        let n = 4000;
+        let sum: f64 = (0..n)
+            .map(|i| m.draw(9, i, 100).unwrap().at.as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1000.0).abs() < 60.0, "exponential mean {mean}");
+    }
+}

@@ -1,0 +1,191 @@
+//! MPI process-failure schedules.
+//!
+//! xSim accepts "a simulated MPI process failure schedule in the form of
+//! rank/time pairs on the command line or via an environment variable"
+//! (paper §IV-B). [`FailureSchedule`] is the same concept: a list of
+//! `(rank, earliest failure time)` pairs with a textual format
+//! `rank:seconds[,rank:seconds...]`.
+
+use std::fmt;
+use std::str::FromStr;
+use xsim_core::SimTime;
+
+/// A failure schedule: `(rank, scheduled time)` pairs. The scheduled
+/// time is the *earliest* time of failure; actual activation follows the
+/// paper's clock-update rule (§IV-B).
+///
+/// ```
+/// use xsim_fault::FailureSchedule;
+/// use xsim_core::SimTime;
+///
+/// let schedule: FailureSchedule = "12:3500.5,99:120".parse().unwrap();
+/// assert_eq!(schedule.len(), 2);
+/// assert_eq!(schedule.entries()[0], (12, SimTime::from_secs_f64(3500.5)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    entries: Vec<(usize, SimTime)>,
+}
+
+/// Error parsing a schedule string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid failure schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl FailureSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one failure.
+    pub fn push(&mut self, rank: usize, at: SimTime) {
+        self.entries.push((rank, at));
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, rank: usize, at: SimTime) -> Self {
+        self.push(rank, at);
+        self
+    }
+
+    /// The scheduled failures.
+    pub fn entries(&self) -> &[(usize, SimTime)] {
+        &self.entries
+    }
+
+    /// Number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shift every entry by `offset` (used when a schedule expressed
+    /// relative to a run start is applied to a continued virtual
+    /// timeline, paper §IV-E).
+    pub fn offset_by(&self, offset: SimTime) -> FailureSchedule {
+        FailureSchedule {
+            entries: self
+                .entries
+                .iter()
+                .map(|(r, t)| (*r, offset + *t))
+                .collect(),
+        }
+    }
+
+    /// Read a schedule from the `XSIM_FAILURES` environment variable, if
+    /// set (xSim's environment-variable injection path, §IV-B).
+    pub fn from_env() -> Result<Option<Self>, ParseError> {
+        match std::env::var("XSIM_FAILURES") {
+            Ok(s) if !s.trim().is_empty() => s.parse().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Iterate as `(rank, time)` pairs suitable for
+    /// `SimBuilder::inject_failures`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, SimTime)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl FromStr for FailureSchedule {
+    type Err = ParseError;
+
+    /// Parse `rank:seconds[,rank:seconds...]`, e.g. `"12:3500.5,99:120"`.
+    /// Whitespace around entries is ignored; seconds may be fractional.
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut out = FailureSchedule::new();
+        for item in s.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (rank_s, time_s) = item
+                .split_once(':')
+                .ok_or_else(|| ParseError(format!("missing ':' in '{item}'")))?;
+            let rank: usize = rank_s
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("bad rank in '{item}'")))?;
+            let secs: f64 = time_s
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("bad time in '{item}'")))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(ParseError(format!("negative or non-finite time in '{item}'")));
+            }
+            out.push(rank, SimTime::from_secs_f64(secs));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FailureSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (r, t) in &self.entries {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            write!(f, "{r}:{}", t.as_secs_f64())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs() {
+        let s: FailureSchedule = "12:3500.5, 99:120".parse().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entries()[0], (12, SimTime::from_secs_f64(3500.5)));
+        assert_eq!(s.entries()[1], (99, SimTime::from_secs(120)));
+    }
+
+    #[test]
+    fn parses_empty_and_trailing_commas() {
+        let s: FailureSchedule = "".parse().unwrap();
+        assert!(s.is_empty());
+        let s: FailureSchedule = "1:2,,".parse().unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("12".parse::<FailureSchedule>().is_err());
+        assert!("a:1".parse::<FailureSchedule>().is_err());
+        assert!("1:x".parse::<FailureSchedule>().is_err());
+        assert!("1:-5".parse::<FailureSchedule>().is_err());
+        assert!("1:inf".parse::<FailureSchedule>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s: FailureSchedule = "3:1.5,4:2".parse().unwrap();
+        let t: FailureSchedule = s.to_string().parse().unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn offset_shifts_times() {
+        let s = FailureSchedule::new().with(1, SimTime::from_secs(5));
+        let o = s.offset_by(SimTime::from_secs(100));
+        assert_eq!(o.entries()[0], (1, SimTime::from_secs(105)));
+    }
+}

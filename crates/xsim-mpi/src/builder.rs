@@ -1,0 +1,337 @@
+//! The simulation builder: composes the engine, machine models, file
+//! system, MPI layer and failure injections into one runnable
+//! configuration — the equivalent of xSim's command-line/environment
+//! configuration surface (paper §IV-B).
+
+use crate::error::ErrHandler;
+use crate::mpi_ctx::{mpi_program, MpiCtx};
+use crate::state::{install_failure_hook, CollAlgo, Detector, MpiService, MpiStats, MpiWorld, PowerService};
+use crate::trace::{Trace, TraceEvent, TraceService};
+use parking_lot::Mutex;
+use std::future::Future;
+use std::sync::Arc;
+use xsim_core::vp::VpProgram;
+use xsim_core::{engine, CoreConfig, Kernel, Rank, SimError, SimReport, SimTime};
+use xsim_fs::{FsModel, FsService, FsStore};
+use xsim_net::NetModel;
+use xsim_proc::{PowerModel, PowerReport, ProcModel};
+
+/// A per-shard setup hook registered via [`SimBuilder::setup_hook`].
+type SetupHook = Arc<dyn Fn(&mut Kernel) + Send + Sync>;
+
+/// Result of one simulated run: the core engine report plus MPI-layer
+/// statistics.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Engine-level report (exit kind, clocks, failures, abort time…).
+    pub sim: SimReport,
+    /// Aggregated MPI statistics.
+    pub mpi: MpiStats,
+    /// Energy accounting, when a power model was configured (paper
+    /// §III-A item (4)).
+    pub power: Option<PowerReport>,
+    /// Execution trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// The maximum simulated MPI process time — the value xSim persists
+    /// at application exit for restart continuation (paper §IV-E).
+    pub fn exit_time(&self) -> SimTime {
+        self.sim.exit_time()
+    }
+}
+
+/// Builder for a simulated MPI run.
+pub struct SimBuilder {
+    n_ranks: usize,
+    workers: usize,
+    seed: u64,
+    start_time: SimTime,
+    verbose: bool,
+    fail_blocked: bool,
+    max_events: u64,
+    net: NetModel,
+    proc: ProcModel,
+    fs_model: FsModel,
+    fs_store: Arc<FsStore>,
+    errhandler: ErrHandler,
+    failures: Vec<(Rank, SimTime)>,
+    notify_delay: Option<SimTime>,
+    detector: Detector,
+    coll_algo: CollAlgo,
+    power: Option<PowerModel>,
+    trace: bool,
+    setup_hooks: Vec<SetupHook>,
+}
+
+impl SimBuilder {
+    /// A builder for `n_ranks` simulated MPI processes on a small
+    /// fully-connected default machine. Use [`net`](Self::net) to select
+    /// the paper's torus machine or any other model.
+    pub fn new(n_ranks: usize) -> Self {
+        SimBuilder {
+            n_ranks,
+            workers: 1,
+            seed: 0xD5_1A_B0_75,
+            start_time: SimTime::ZERO,
+            verbose: false,
+            fail_blocked: false,
+            max_events: u64::MAX,
+            net: NetModel::small(n_ranks.max(1)),
+            proc: ProcModel::default(),
+            fs_model: FsModel::free(),
+            fs_store: FsStore::new(),
+            errhandler: ErrHandler::Fatal,
+            failures: Vec::new(),
+            notify_delay: None,
+            detector: Detector::Timeout,
+            coll_algo: CollAlgo::Linear,
+            power: None,
+            trace: false,
+            setup_hooks: Vec::new(),
+        }
+    }
+
+    /// Set the network model (machine topology, link classes, protocol
+    /// thresholds, failure-detection timeouts).
+    pub fn net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Set the processor model.
+    pub fn proc(mut self, proc: ProcModel) -> Self {
+        self.proc = proc;
+        self
+    }
+
+    /// Set the file system cost model (default: free, the paper's
+    /// Table II configuration).
+    pub fn fs_model(mut self, m: FsModel) -> Self {
+        self.fs_model = m;
+        self
+    }
+
+    /// Use an existing file system store (so checkpoints survive across
+    /// runs). Defaults to a fresh store.
+    pub fn fs_store(mut self, store: Arc<FsStore>) -> Self {
+        self.fs_store = store;
+        self
+    }
+
+    /// Handle to the file system store this run will use.
+    pub fn store(&self) -> Arc<FsStore> {
+        self.fs_store.clone()
+    }
+
+    /// Number of native worker threads (1 = sequential reference engine).
+    pub fn workers(mut self, w: usize) -> Self {
+        self.workers = w;
+        self
+    }
+
+    /// Master seed for all deterministic randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Initial virtual clock of every VP (restart continuation, paper
+    /// §IV-E).
+    pub fn start_time(mut self, t: SimTime) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Print simulator-internal informational messages (failure/abort
+    /// times and locations, shutdown statistics).
+    pub fn verbose(mut self, v: bool) -> Self {
+        self.verbose = v;
+        self
+    }
+
+    /// Activate scheduled failures even while the target is blocked on
+    /// communication (eager extension; the paper's strict activation
+    /// rule is the default — see `CoreConfig::fail_blocked`).
+    pub fn fail_blocked(mut self, v: bool) -> Self {
+        self.fail_blocked = v;
+        self
+    }
+
+    /// Event budget safety valve.
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Default error handler for `MPI_COMM_WORLD` (default:
+    /// `MPI_ERRORS_ARE_FATAL`).
+    pub fn errhandler(mut self, h: ErrHandler) -> Self {
+        self.errhandler = h;
+        self
+    }
+
+    /// Schedule a process failure: "xSim additionally offers to pass a
+    /// simulated MPI process failure schedule in the form of rank/time
+    /// pairs" (paper §IV-B). The time is the *earliest* failure time.
+    pub fn inject_failure(mut self, rank: usize, at: SimTime) -> Self {
+        self.failures.push((Rank::new(rank), at));
+        self
+    }
+
+    /// Schedule several failures at once.
+    pub fn inject_failures(mut self, schedule: impl IntoIterator<Item = (usize, SimTime)>) -> Self {
+        self.failures
+            .extend(schedule.into_iter().map(|(r, t)| (Rank::new(r), t)));
+        self
+    }
+
+    /// Override the simulator-internal notification delay (default: the
+    /// network model's minimum latency).
+    pub fn notify_delay(mut self, d: SimTime) -> Self {
+        self.notify_delay = Some(d);
+        self
+    }
+
+    /// Select the failure detector (default: the paper's timeout-based
+    /// detection, §IV-C).
+    pub fn detector(mut self, d: Detector) -> Self {
+        self.detector = d;
+        self
+    }
+
+    /// Enable the node power model: the run report will carry an energy
+    /// accounting (busy/idle/network joules) for the whole simulated
+    /// machine.
+    pub fn power(mut self, model: PowerModel) -> Self {
+        self.power = Some(model);
+        self
+    }
+
+    /// Select the collective algorithms (default: the paper's linear
+    /// algorithms, §V-C; `CollAlgo::Tree` switches barrier/bcast to
+    /// binomial trees).
+    pub fn collectives(mut self, algo: CollAlgo) -> Self {
+        self.coll_algo = algo;
+        self
+    }
+
+    /// Record an execution trace (per-rank compute/communication phase
+    /// intervals); retrieve it from `RunReport::trace`.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Register an extra per-shard setup hook, run after the standard
+    /// services are installed. Extension layers (e.g. the soft-error
+    /// injector in xsim-fault) use this to attach their own services and
+    /// scheduled events.
+    pub fn setup_hook(mut self, f: impl Fn(&mut Kernel) + Send + Sync + 'static) -> Self {
+        self.setup_hooks.push(Arc::new(f));
+        self
+    }
+
+    /// Run an application function on every rank.
+    pub fn run_app<F, Fut>(self, f: F) -> Result<RunReport, SimError>
+    where
+        F: Fn(MpiCtx) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Result<(), crate::error::MpiError>> + Send + 'static,
+    {
+        self.run(mpi_program(f))
+    }
+
+    /// Run an arbitrary [`VpProgram`].
+    pub fn run(self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
+        self.net
+            .validate(self.n_ranks)
+            .map_err(SimError::Config)?;
+        let lookahead = self.net.min_latency();
+        let notify_delay = self.notify_delay.unwrap_or(lookahead).max(lookahead);
+        let start_time = self.start_time;
+
+        let cfg = CoreConfig {
+            n_ranks: self.n_ranks,
+            workers: self.workers,
+            start_time: self.start_time,
+            seed: self.seed,
+            lookahead,
+            fail_blocked: self.fail_blocked,
+            max_events: self.max_events,
+            verbose: self.verbose,
+        };
+
+        let world = Arc::new(MpiWorld {
+            n_ranks: self.n_ranks,
+            net: self.net,
+            proc: self.proc,
+            notify_delay,
+            default_errhandler: self.errhandler,
+            detector: self.detector,
+            coll_algo: self.coll_algo,
+            verbose: self.verbose,
+        });
+        let stats_sink = Arc::new(Mutex::new(MpiStats::default()));
+        let fs_store = self.fs_store;
+        let fs_model = self.fs_model;
+        let failures = self.failures;
+        let setup_hooks = self.setup_hooks;
+        let power_model = self.power;
+        let busy_sink: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+        let trace_enabled = self.trace;
+        let trace_sink: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let setup = {
+            let world = world.clone();
+            let stats_sink = stats_sink.clone();
+            let busy_sink = busy_sink.clone();
+            let trace_sink = trace_sink.clone();
+            move |k: &mut Kernel| {
+                let owned = k.owned_ranks();
+                k.install_service(MpiService::new(world.clone(), owned.clone(), stats_sink.clone()));
+                k.install_service(FsService::new(fs_store.clone(), fs_model));
+                if power_model.is_some() {
+                    k.install_service(PowerService::new(world.n_ranks, busy_sink.clone()));
+                }
+                if trace_enabled {
+                    k.install_service(TraceService::new(trace_sink.clone()));
+                }
+                install_failure_hook(k);
+                for (rank, at) in &failures {
+                    if owned.contains(&rank.idx()) {
+                        k.set_time_of_failure(*rank, *at);
+                    }
+                }
+                for hook in &setup_hooks {
+                    hook(k);
+                }
+            }
+        };
+
+        let sim = engine::run(cfg, program, &setup)?;
+        // The setup closure (and the services it captured) is dropped by
+        // now, so the busy sink holds every shard's accounting.
+        drop(setup);
+        let mpi = *stats_sink.lock();
+        let power = power_model.map(|model| {
+            let busy = busy_sink.lock();
+            PowerReport::assemble(
+                &model,
+                &busy,
+                &sim.final_clocks,
+                start_time,
+                mpi.sends,
+                mpi.bytes_sent,
+            )
+        });
+        let trace = trace_enabled
+            .then(|| Trace::assemble(std::mem::take(&mut trace_sink.lock())));
+        Ok(RunReport {
+            sim,
+            mpi,
+            power,
+            trace,
+        })
+    }
+}

@@ -1,0 +1,488 @@
+//! Collective operations.
+//!
+//! The paper's simulated system configures **linear algorithms** for MPI
+//! collectives (§V-C): the root communicates with every other member one
+//! by one. Binomial-tree variants are provided as well, as the ablation
+//! axis DESIGN.md §4.3 calls out.
+//!
+//! All collectives are built on the simulated point-to-point layer, so
+//! they inherit its failure-detection semantics — this is what produces
+//! the paper's observation that "a failure during the checkpoint phase is
+//! detected in the following barrier" (§V-D).
+
+use crate::comm::CommId;
+use crate::error::MpiError;
+use crate::p2p;
+use crate::state::MpiService;
+use bytes::{BufMut, Bytes, BytesMut};
+use xsim_core::ctx;
+
+/// Tag space reserved for collective-internal messages; user tags must
+/// stay below this value.
+pub const COLL_TAG_BASE: u32 = 1 << 30;
+
+/// Reduction operators for the typed reduce/allreduce helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    fn fold_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    fn fold_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// `(my communicator rank, communicator size, next collective tag)`.
+fn coll_begin(comm: CommId) -> Result<(usize, usize, u32), MpiError> {
+    ctx::with_kernel(|k, me| {
+        let svc = k.service_mut::<MpiService>();
+        let rm = svc.rank_mut(me);
+        p2p::entry_checks(rm, comm)?;
+        rm.stats.collectives += 1;
+        let view = rm.comms.view_mut(comm).expect("checked");
+        view.coll_seq += 1;
+        let tag = COLL_TAG_BASE + (view.coll_seq as u32 & (COLL_TAG_BASE - 1));
+        Ok((view.my_rank, view.size(), tag))
+    })
+}
+
+/// Linear barrier: gather-to-root of empty messages, then a linear
+/// release fan-out.
+pub async fn barrier(comm: CommId) -> Result<(), MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if size <= 1 {
+        return Ok(());
+    }
+    if me == 0 {
+        let mut reqs = Vec::with_capacity(size - 1);
+        for r in 1..size {
+            reqs.push(p2p::irecv_raw(comm, Some(r), Some(tag))?);
+        }
+        p2p::waitall_raw(&reqs).await?;
+        for r in 1..size {
+            p2p::send_raw(comm, r, tag, Bytes::new()).await?;
+        }
+    } else {
+        p2p::send_raw(comm, 0, tag, Bytes::new()).await?;
+        p2p::recv_raw(comm, Some(0), Some(tag)).await?;
+    }
+    Ok(())
+}
+
+/// Linear broadcast from `root`: the root sends to every other member in
+/// rank order; members receive. Returns the broadcast payload on every
+/// member (the root passes it in; others pass anything).
+pub async fn bcast(comm: CommId, root: usize, data: Bytes) -> Result<Bytes, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if size <= 1 {
+        return Ok(data);
+    }
+    if me == root {
+        for r in 0..size {
+            if r != root {
+                p2p::send_raw(comm, r, tag, data.clone()).await?;
+            }
+        }
+        Ok(data)
+    } else {
+        Ok(p2p::recv_raw(comm, Some(root), Some(tag)).await?.data)
+    }
+}
+
+/// Linear gather to `root`: returns `Some(parts)` (in communicator rank
+/// order) at the root, `None` elsewhere.
+pub async fn gather(comm: CommId, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if me == root {
+        let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
+        let mut reqs = Vec::with_capacity(size - 1);
+        let mut idxs = Vec::with_capacity(size - 1);
+        for (r, slot) in parts.iter_mut().enumerate() {
+            if r == root {
+                *slot = data.clone();
+            } else {
+                reqs.push(p2p::irecv_raw(comm, Some(r), Some(tag))?);
+                idxs.push(r);
+            }
+        }
+        let outs = p2p::waitall_raw(&reqs).await?;
+        for (i, out) in idxs.into_iter().zip(outs) {
+            parts[i] = out.expect("gather receives carry payloads").data;
+        }
+        Ok(Some(parts))
+    } else {
+        p2p::send_raw(comm, root, tag, data).await?;
+        Ok(None)
+    }
+}
+
+/// Linear scatter from `root`: the root provides one payload per member
+/// (in communicator rank order) and each member receives its own.
+pub async fn scatter(
+    comm: CommId,
+    root: usize,
+    parts: Option<Vec<Bytes>>,
+) -> Result<Bytes, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if me == root {
+        let parts = parts.ok_or(MpiError::Invalid("scatter root must provide parts"))?;
+        if parts.len() != size {
+            return Err(MpiError::Invalid("scatter parts must match comm size"));
+        }
+        for (r, part) in parts.iter().enumerate() {
+            if r != root {
+                p2p::send_raw(comm, r, tag, part.clone()).await?;
+            }
+        }
+        Ok(parts[root].clone())
+    } else {
+        Ok(p2p::recv_raw(comm, Some(root), Some(tag)).await?.data)
+    }
+}
+
+/// Allgather: linear gather to rank 0, then broadcast of the packed
+/// parts. Returns the parts in communicator rank order everywhere.
+pub async fn allgather(comm: CommId, data: Bytes) -> Result<Vec<Bytes>, MpiError> {
+    let gathered = gather(comm, 0, data).await?;
+    let packed = match gathered {
+        Some(parts) => encode_multi(&parts),
+        None => Bytes::new(),
+    };
+    let packed = bcast(comm, 0, packed).await?;
+    decode_multi(&packed).ok_or(MpiError::Invalid("corrupt allgather payload"))
+}
+
+/// All-to-all personalized exchange: member `i` sends `parts[j]` to
+/// member `j`; returns the payloads received from each member in rank
+/// order.
+pub async fn alltoall(comm: CommId, parts: Vec<Bytes>) -> Result<Vec<Bytes>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if parts.len() != size {
+        return Err(MpiError::Invalid("alltoall parts must match comm size"));
+    }
+    let mut recv_reqs = Vec::with_capacity(size);
+    for r in 0..size {
+        if r != me {
+            recv_reqs.push((r, p2p::irecv_raw(comm, Some(r), Some(tag))?));
+        }
+    }
+    for (r, part) in parts.iter().enumerate() {
+        if r != me {
+            // Sends drain on their own: eager sends complete locally,
+            // rendezvous sends complete with the matching receives.
+            let _ = p2p::isend_raw(comm, r, tag, part.clone()).await?;
+        }
+    }
+    let mut out: Vec<Bytes> = vec![Bytes::new(); size];
+    out[me] = parts[me].clone();
+    let reqs: Vec<_> = recv_reqs.iter().map(|(_, q)| *q).collect();
+    let outs = p2p::waitall_raw(&reqs).await?;
+    for ((r, _), o) in recv_reqs.into_iter().zip(outs) {
+        out[r] = o.expect("alltoall receives carry payloads").data;
+    }
+    Ok(out)
+}
+
+/// Linear reduce of `f64` vectors to `root` (elementwise). Returns
+/// `Some(result)` at the root.
+pub async fn reduce_f64(
+    comm: CommId,
+    root: usize,
+    data: &[f64],
+    op: ReduceOp,
+) -> Result<Option<Vec<f64>>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if me == root {
+        let mut acc: Vec<f64> = data.to_vec();
+        for r in 0..size {
+            if r == root {
+                continue;
+            }
+            let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
+            let other = bytes_to_f64(&msg.data)
+                .ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            if other.len() != acc.len() {
+                return Err(MpiError::Invalid("reduce payload length mismatch"));
+            }
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a = op.fold_f64(*a, b);
+            }
+        }
+        Ok(Some(acc))
+    } else {
+        p2p::send_raw(comm, root, tag, f64_to_bytes(data)).await?;
+        Ok(None)
+    }
+}
+
+/// Allreduce of `f64` vectors: linear reduce to rank 0, then broadcast.
+pub async fn allreduce_f64(comm: CommId, data: &[f64], op: ReduceOp) -> Result<Vec<f64>, MpiError> {
+    let reduced = reduce_f64(comm, 0, data, op).await?;
+    let packed = match reduced {
+        Some(v) => f64_to_bytes(&v),
+        None => Bytes::new(),
+    };
+    let packed = bcast(comm, 0, packed).await?;
+    bytes_to_f64(&packed).ok_or(MpiError::Invalid("corrupt allreduce payload"))
+}
+
+/// Linear reduce of `u64` vectors to `root` (elementwise).
+pub async fn reduce_u64(
+    comm: CommId,
+    root: usize,
+    data: &[u64],
+    op: ReduceOp,
+) -> Result<Option<Vec<u64>>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if me == root {
+        let mut acc: Vec<u64> = data.to_vec();
+        for r in 0..size {
+            if r == root {
+                continue;
+            }
+            let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
+            let other = bytes_to_u64(&msg.data)
+                .ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            if other.len() != acc.len() {
+                return Err(MpiError::Invalid("reduce payload length mismatch"));
+            }
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a = op.fold_u64(*a, b);
+            }
+        }
+        Ok(Some(acc))
+    } else {
+        p2p::send_raw(comm, root, tag, u64_to_bytes(data)).await?;
+        Ok(None)
+    }
+}
+
+/// Allreduce of `u64` vectors.
+pub async fn allreduce_u64(comm: CommId, data: &[u64], op: ReduceOp) -> Result<Vec<u64>, MpiError> {
+    let reduced = reduce_u64(comm, 0, data, op).await?;
+    let packed = match reduced {
+        Some(v) => u64_to_bytes(&v),
+        None => Bytes::new(),
+    };
+    let packed = bcast(comm, 0, packed).await?;
+    bytes_to_u64(&packed).ok_or(MpiError::Invalid("corrupt allreduce payload"))
+}
+
+// ----------------------------------------------------------------------
+// Binomial-tree variants (ablation: linear vs. tree algorithms)
+// ----------------------------------------------------------------------
+
+/// Binomial-tree broadcast from `root`. O(log P) rounds instead of the
+/// linear algorithm's O(P) serialized sends at the root.
+pub async fn bcast_tree(comm: CommId, root: usize, data: Bytes) -> Result<Bytes, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if size <= 1 {
+        return Ok(data);
+    }
+    // Re-index so the root is virtual rank 0.
+    let vrank = (me + size - root) % size;
+    let mut data = data;
+    if vrank != 0 {
+        // Receive from parent: clear the lowest set bit of vrank.
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + root) % size;
+        data = p2p::recv_raw(comm, Some(parent), Some(tag)).await?.data;
+    }
+    // Forward to children: set bits above the lowest set bit.
+    let lowbit = if vrank == 0 {
+        size.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let mut bit = 1;
+    while bit < lowbit && bit < size {
+        let child_v = vrank | bit;
+        if child_v != vrank && child_v < size {
+            let child = (child_v + root) % size;
+            p2p::send_raw(comm, child, tag, data.clone()).await?;
+        }
+        bit <<= 1;
+    }
+    Ok(data)
+}
+
+/// Binomial-tree barrier: tree-reduce of empty messages followed by a
+/// tree broadcast.
+pub async fn barrier_tree(comm: CommId) -> Result<(), MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    if size <= 1 {
+        return Ok(());
+    }
+    // Reduce phase (children → parent).
+    let mut bit = 1;
+    while bit < size {
+        if me & bit != 0 {
+            let parent = me & !bit;
+            p2p::send_raw(comm, parent, tag, Bytes::new()).await?;
+            break;
+        } else {
+            let child = me | bit;
+            if child < size {
+                p2p::recv_raw(comm, Some(child), Some(tag)).await?;
+            }
+        }
+        bit <<= 1;
+    }
+    // Release phase: reuse the tree bcast shape with a fresh tag.
+    bcast_tree(comm, 0, Bytes::new()).await?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Payload packing helpers
+// ----------------------------------------------------------------------
+
+/// Pack multiple byte strings into one (length-prefixed).
+pub fn encode_multi(parts: &[Bytes]) -> Bytes {
+    let total: usize = 4 + parts.iter().map(|p| 4 + p.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u32_le(parts.len() as u32);
+    for p in parts {
+        buf.put_u32_le(p.len() as u32);
+        buf.put_slice(p);
+    }
+    buf.freeze()
+}
+
+/// Unpack a [`encode_multi`] payload. Returns `None` on malformed input.
+pub fn decode_multi(data: &[u8]) -> Option<Vec<Bytes>> {
+    if data.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(data[0..4].try_into().ok()?) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut off = 4;
+    for _ in 0..n {
+        if data.len() < off + 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().ok()?) as usize;
+        off += 4;
+        if data.len() < off + len {
+            return None;
+        }
+        out.push(Bytes::copy_from_slice(&data[off..off + len]));
+        off += len;
+    }
+    (off == data.len()).then_some(out)
+}
+
+/// Serialize an `f64` slice (little-endian).
+pub fn f64_to_bytes(v: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(v.len() * 8);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+    buf.freeze()
+}
+
+/// Deserialize an `f64` slice; `None` if the length is not a multiple of 8.
+pub fn bytes_to_f64(data: &[u8]) -> Option<Vec<f64>> {
+    if !data.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
+/// Serialize a `u64` slice (little-endian).
+pub fn u64_to_bytes(v: &[u64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(v.len() * 8);
+    for x in v {
+        buf.put_u64_le(*x);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a `u64` slice; `None` if the length is not a multiple of 8.
+pub fn bytes_to_u64(data: &[u8]) -> Option<Vec<u64>> {
+    if !data.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_round_trip() {
+        let parts = vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::new(),
+            Bytes::from_static(b"z"),
+        ];
+        let packed = encode_multi(&parts);
+        assert_eq!(decode_multi(&packed).unwrap(), parts);
+    }
+
+    #[test]
+    fn multi_rejects_malformed() {
+        assert!(decode_multi(&[]).is_none());
+        assert!(decode_multi(&[9, 0, 0, 0]).is_none());
+        let packed = encode_multi(&[Bytes::from_static(b"xy")]);
+        assert!(decode_multi(&packed[..packed.len() - 1]).is_none());
+        // Trailing garbage is also rejected.
+        let mut longer = packed.to_vec();
+        longer.push(0);
+        assert!(decode_multi(&longer).is_none());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64(&f64_to_bytes(&v)).unwrap(), v);
+        assert!(bytes_to_f64(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = vec![0, 1, u64::MAX];
+        assert_eq!(bytes_to_u64(&u64_to_bytes(&v)).unwrap(), v);
+        assert!(bytes_to_u64(&[1]).is_none());
+    }
+
+    #[test]
+    fn reduce_op_folds() {
+        assert_eq!(ReduceOp::Sum.fold_f64(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.fold_f64(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.fold_f64(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Prod.fold_f64(2.0, 3.0), 6.0);
+        assert_eq!(ReduceOp::Sum.fold_u64(u64::MAX, 1), 0, "wrapping");
+    }
+}

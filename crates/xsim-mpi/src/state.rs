@@ -1,0 +1,469 @@
+//! Per-rank MPI state, the kernel service holding it, and the
+//! failure-notification machinery (paper §IV-B/C).
+
+use crate::comm::CommTable;
+use crate::error::{ErrHandler, MpiError};
+use crate::msg::MatchQueues;
+use crate::request::{ReqId, RequestTable};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Range;
+use std::sync::Arc;
+use xsim_core::event::Action;
+use xsim_core::{Kernel, Rank, SimTime};
+use xsim_net::NetModel;
+use xsim_proc::ProcModel;
+
+/// How simulated MPI process failures are detected (paper §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// "The currently implemented simulated MPI process failure detection
+    /// is purely based on simulated network communication timeouts":
+    /// pending operations towards a failed peer error at
+    /// `max(post, tof) + timeout(network class)`.
+    Timeout,
+    /// A simulated HPC monitoring system "that notifies the MPI layer
+    /// about process failures" (the capability the paper reports as
+    /// under development): every rank learns of the failure after
+    /// `latency` and pending operations error as soon as the
+    /// notification arrives.
+    Monitor {
+        /// Failure-report latency of the monitoring system.
+        latency: SimTime,
+    },
+}
+
+/// Which collective algorithms the MPI layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollAlgo {
+    /// Linear algorithms — the paper's simulated system configuration
+    /// ("MPI collectives utilize linear algorithms", §V-C).
+    Linear,
+    /// Binomial-tree barrier/broadcast (ablation; reductions stay
+    /// linear).
+    Tree,
+}
+
+/// Immutable, shared configuration of the simulated MPI world.
+pub struct MpiWorld {
+    /// Number of ranks in `MPI_COMM_WORLD`.
+    pub n_ranks: usize,
+    /// The network model.
+    pub net: NetModel,
+    /// The processor model.
+    pub proc: ProcModel,
+    /// Virtual delay of simulator-internal broadcast notifications
+    /// (failure/abort/revoke). At least the engine lookahead.
+    pub notify_delay: SimTime,
+    /// Default error handler for `MPI_COMM_WORLD` — the MPI default is
+    /// `MPI_ERRORS_ARE_FATAL` (paper §IV-D).
+    pub default_errhandler: ErrHandler,
+    /// The failure detector in effect.
+    pub detector: Detector,
+    /// Collective algorithm selection.
+    pub coll_algo: CollAlgo,
+    /// Print simulator-internal informational messages.
+    pub verbose: bool,
+}
+
+impl MpiWorld {
+    /// When ranks learn of a failure that occurred at `tof`.
+    pub fn notification_time(&self, tof: SimTime) -> SimTime {
+        match self.detector {
+            Detector::Timeout => tof + self.notify_delay,
+            Detector::Monitor { latency } => tof + latency.max(self.notify_delay),
+        }
+    }
+
+    /// When a pending operation between `me` and the failed `dead`
+    /// (posted at `post`) completes with `MPI_ERR_PROC_FAILED`.
+    pub fn failure_error_time(&self, me: Rank, dead: Rank, post: SimTime, tof: SimTime) -> SimTime {
+        match self.detector {
+            Detector::Timeout => post.max(tof) + self.net.timeout(me, dead),
+            Detector::Monitor { .. } => post.max(self.notification_time(tof)),
+        }
+    }
+}
+
+/// Counters aggregated across ranks and shards, surfaced in
+/// [`crate::builder::RunReport`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MpiStats {
+    /// Point-to-point sends posted.
+    pub sends: u64,
+    /// Point-to-point receives posted.
+    pub recvs: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Collective operations started.
+    pub collectives: u64,
+    /// Requests that completed with `MPI_ERR_PROC_FAILED`.
+    pub proc_failed_errors: u64,
+}
+
+impl MpiStats {
+    fn merge(&mut self, o: &MpiStats) {
+        self.sends += o.sends;
+        self.recvs += o.recvs;
+        self.bytes_sent += o.bytes_sent;
+        self.collectives += o.collectives;
+        self.proc_failed_errors += o.proc_failed_errors;
+    }
+}
+
+/// The MPI state of one simulated rank.
+pub struct RankMpi {
+    /// This rank.
+    pub me: Rank,
+    /// Matching queues (posted receives / unexpected messages).
+    pub queues: MatchQueues,
+    /// Outstanding requests.
+    pub reqs: RequestTable,
+    /// Communicator table.
+    pub comms: CommTable,
+    /// This rank's list of known-failed processes and their times of
+    /// failure — "each simulated MPI process maintains its own list of
+    /// failed simulated MPI processes" (paper §IV-B).
+    pub failed: BTreeMap<Rank, SimTime>,
+    /// ULFM: failures acknowledged via `MPI_Comm_failure_ack`.
+    pub acked: BTreeSet<Rank>,
+    /// Set when this rank has observed (or initiated) an abort.
+    pub aborted: Option<SimTime>,
+    /// Whether `finalize` was called.
+    pub finalized: bool,
+    /// Per-destination send sequence numbers (non-overtaking bookkeeping).
+    pub send_seq: HashMap<Rank, u64>,
+    /// Receiver-NIC drain horizon for the optional contention model
+    /// (`NetModel::serialize_recv`): no message completion at this rank
+    /// may precede it.
+    pub recv_free: SimTime,
+    /// Request ids completed since the owning VP last drained the feed.
+    /// Lets `waitall`/`waitany` re-check only fresh completions instead
+    /// of rescanning every outstanding request (O(P²) at a linear
+    /// collective root otherwise).
+    pub completion_feed: Vec<u64>,
+    /// Local statistics.
+    pub stats: MpiStats,
+}
+
+impl RankMpi {
+    fn new(me: Rank, world_members: Arc<Vec<Rank>>, default_handler: ErrHandler) -> Self {
+        RankMpi {
+            me,
+            queues: MatchQueues::default(),
+            reqs: RequestTable::default(),
+            comms: CommTable::new_world_shared(world_members, me, default_handler),
+            failed: BTreeMap::new(),
+            acked: BTreeSet::new(),
+            aborted: None,
+            finalized: false,
+            send_seq: HashMap::new(),
+            recv_free: SimTime::ZERO,
+            completion_feed: Vec::new(),
+            stats: MpiStats::default(),
+        }
+    }
+
+    /// Next send sequence number towards `dst`.
+    pub fn next_send_seq(&mut self, dst: Rank) -> u64 {
+        let c = self.send_seq.entry(dst).or_insert(0);
+        let s = *c;
+        *c += 1;
+        s
+    }
+
+    /// Record a completed request id in the feed, compacting the feed
+    /// when stale entries (already-consumed requests) accumulate.
+    pub fn push_completion(&mut self, id: u64) {
+        self.completion_feed.push(id);
+        if self.completion_feed.len() > 2 * self.reqs.len() + 64 {
+            let reqs = &self.reqs;
+            self.completion_feed.retain(|i| reqs.get(crate::request::ReqId(*i)).is_some());
+        }
+    }
+
+    /// The earliest-failed rank not yet acknowledged (drives wildcard
+    /// receive failures, paper §IV-C / ULFM semantics).
+    pub fn first_unacked_failure(&self) -> Option<(Rank, SimTime)> {
+        self.failed
+            .iter()
+            .filter(|(r, _)| !self.acked.contains(r))
+            .map(|(r, t)| (*r, *t))
+            .next()
+    }
+}
+
+/// Per-shard busy-time accounting for the power model (paper §III-A
+/// item (4)). Installed by the builder when a power model is configured;
+/// `MpiCtx::compute` adds each compute phase's duration. Flushes into a
+/// shared sink on drop so the builder can assemble the energy report.
+#[derive(Debug)]
+pub struct PowerService {
+    /// Busy virtual time per rank (indexed by world rank; only owned
+    /// ranks are written).
+    pub busy: Vec<SimTime>,
+    sink: Arc<Mutex<Vec<SimTime>>>,
+}
+
+impl PowerService {
+    /// Service sized for the world, flushing into `sink` on drop.
+    pub fn new(n_ranks: usize, sink: Arc<Mutex<Vec<SimTime>>>) -> Self {
+        PowerService {
+            busy: vec![SimTime::ZERO; n_ranks],
+            sink,
+        }
+    }
+
+    /// Add busy time to a rank.
+    pub fn add_busy(&mut self, rank: Rank, d: SimTime) {
+        self.busy[rank.idx()] += d;
+    }
+}
+
+impl Drop for PowerService {
+    fn drop(&mut self) {
+        let mut sink = self.sink.lock();
+        if sink.len() < self.busy.len() {
+            sink.resize(self.busy.len(), SimTime::ZERO);
+        }
+        for (slot, b) in sink.iter_mut().zip(&self.busy) {
+            *slot += *b;
+        }
+    }
+}
+
+/// The kernel service owning the MPI state of this shard's ranks.
+pub struct MpiService {
+    /// Shared world configuration.
+    pub world: Arc<MpiWorld>,
+    ranks: Vec<Option<RankMpi>>,
+    owned: Range<usize>,
+    /// Cross-shard statistics sink, flushed on drop.
+    stats_sink: Arc<Mutex<MpiStats>>,
+}
+
+impl MpiService {
+    /// Create the service for one shard.
+    pub fn new(
+        world: Arc<MpiWorld>,
+        owned: Range<usize>,
+        stats_sink: Arc<Mutex<MpiStats>>,
+    ) -> Self {
+        let mut ranks: Vec<Option<RankMpi>> = (0..world.n_ranks).map(|_| None).collect();
+        let members: Arc<Vec<Rank>> = Arc::new((0..world.n_ranks).map(Rank::new).collect());
+        for r in owned.clone() {
+            ranks[r] = Some(RankMpi::new(
+                Rank::new(r),
+                members.clone(),
+                world.default_errhandler.clone(),
+            ));
+        }
+        MpiService {
+            world,
+            ranks,
+            owned,
+            stats_sink,
+        }
+    }
+
+    /// The MPI state of an owned rank.
+    pub fn rank(&self, r: Rank) -> &RankMpi {
+        self.ranks[r.idx()].as_ref().expect("rank not on this shard")
+    }
+
+    /// The MPI state of an owned rank, mutably.
+    pub fn rank_mut(&mut self, r: Rank) -> &mut RankMpi {
+        self.ranks[r.idx()].as_mut().expect("rank not on this shard")
+    }
+
+    /// Ranks owned by this shard.
+    pub fn owned(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+}
+
+impl Drop for MpiService {
+    fn drop(&mut self) {
+        let mut agg = MpiStats::default();
+        for rm in self.ranks.iter().flatten() {
+            agg.merge(&rm.stats);
+        }
+        self.stats_sink.lock().merge(&agg);
+    }
+}
+
+/// Install the failure hook on a kernel shard: when any VP fails, a
+/// simulator-internal message is broadcast to notify all simulated MPI
+/// processes of the failure and the time of failure (paper §IV-B).
+pub fn install_failure_hook(k: &mut Kernel) {
+    k.add_fail_hook(Arc::new(|k: &mut Kernel, dead: Rank, tof: SimTime| {
+        let (n, when, verbose) = {
+            let svc = k.service::<MpiService>();
+            (
+                svc.world.n_ranks,
+                svc.world.notification_time(tof),
+                svc.world.verbose,
+            )
+        };
+        if verbose {
+            eprintln!("xsim-mpi: broadcasting failure of rank {dead} (tof {tof})");
+        }
+        for r in 0..n {
+            let target = Rank::new(r);
+            if target == dead {
+                continue;
+            }
+            k.schedule_at(
+                when,
+                target,
+                Action::Call(Box::new(move |k: &mut Kernel| {
+                    on_failure_notice(k, target, dead, tof);
+                })),
+            );
+        }
+    }));
+}
+
+/// Process a failure notification at `me`: record the failure and
+/// release (fail) pending requests involving the dead peer with the
+/// timeout-adjusted completion times of the paper (§IV-C).
+fn on_failure_notice(k: &mut Kernel, me: Rank, dead: Rank, tof: SimTime) {
+    if k.vp(me).is_done() {
+        return;
+    }
+    let releases: Vec<(ReqId, SimTime)> = {
+        let svc = k.service_mut::<MpiService>();
+        let world = svc.world.clone();
+        let rm = svc.rank_mut(me);
+        if rm.failed.contains_key(&dead) {
+            return;
+        }
+        rm.failed.insert(dead, tof);
+        // Release unmatched receives from the dead peer and — per the
+        // paper — unmatched MPI_ANY_SOURCE receives, plus pending send
+        // requests towards the dead peer.
+        let ids = rm.reqs.pending_involving(dead, true);
+        ids.into_iter()
+            .map(|(id, posted_at)| (id, world.failure_error_time(me, dead, posted_at, tof)))
+            .collect()
+    };
+    for (id, at) in releases {
+        schedule_request_failure(k, me, id, at, dead, tof);
+    }
+}
+
+/// Schedule the error completion of a request at `at` (unless something
+/// else completes it first — e.g. a message that matches a wildcard
+/// receive before the timeout expires).
+pub fn schedule_request_failure(
+    k: &mut Kernel,
+    me: Rank,
+    id: ReqId,
+    at: SimTime,
+    dead: Rank,
+    tof: SimTime,
+) {
+    k.schedule_at(
+        at,
+        me,
+        Action::Call(Box::new(move |k: &mut Kernel| {
+            if k.vp(me).is_done() {
+                return;
+            }
+            let completed = {
+                let svc = k.service_mut::<MpiService>();
+                let rm = svc.rank_mut(me);
+                let done = rm.reqs.complete(
+                    id,
+                    at,
+                    Err(MpiError::ProcFailed {
+                        rank: dead,
+                        time_of_failure: tof,
+                    }),
+                );
+                if done {
+                    rm.queues.cancel_posted(id.0);
+                    rm.stats.proc_failed_errors += 1;
+                    rm.push_completion(id.0);
+                }
+                done
+            };
+            if completed {
+                k.wake_if_message_blocked(me, at);
+            }
+        })),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize) -> Arc<MpiWorld> {
+        Arc::new(MpiWorld {
+            n_ranks: n,
+            net: NetModel::small(n),
+            proc: ProcModel::default(),
+            notify_delay: SimTime::from_micros(1),
+            default_errhandler: ErrHandler::Fatal,
+            detector: Detector::Timeout,
+            coll_algo: CollAlgo::Linear,
+            verbose: false,
+        })
+    }
+
+    #[test]
+    fn service_owns_only_its_ranks() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        let svc = MpiService::new(world(8), 2..5, sink);
+        assert_eq!(svc.rank(Rank(3)).me, Rank(3));
+        assert_eq!(svc.owned(), 2..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank not on this shard")]
+    fn foreign_rank_access_panics() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        let svc = MpiService::new(world(8), 2..5, sink);
+        let _ = svc.rank(Rank(7));
+    }
+
+    #[test]
+    fn stats_flush_on_drop() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        {
+            let mut svc = MpiService::new(world(4), 0..4, sink.clone());
+            svc.rank_mut(Rank(0)).stats.sends = 3;
+            svc.rank_mut(Rank(2)).stats.sends = 4;
+            svc.rank_mut(Rank(2)).stats.bytes_sent = 100;
+        }
+        let agg = *sink.lock();
+        assert_eq!(agg.sends, 7);
+        assert_eq!(agg.bytes_sent, 100);
+    }
+
+    #[test]
+    fn send_seq_increments_per_destination() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        let mut svc = MpiService::new(world(4), 0..4, sink);
+        let rm = svc.rank_mut(Rank(0));
+        assert_eq!(rm.next_send_seq(Rank(1)), 0);
+        assert_eq!(rm.next_send_seq(Rank(1)), 1);
+        assert_eq!(rm.next_send_seq(Rank(2)), 0);
+    }
+
+    #[test]
+    fn first_unacked_failure_respects_acks() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        let mut svc = MpiService::new(world(4), 0..4, sink);
+        let rm = svc.rank_mut(Rank(0));
+        assert!(rm.first_unacked_failure().is_none());
+        rm.failed.insert(Rank(2), SimTime(10));
+        rm.failed.insert(Rank(1), SimTime(20));
+        assert_eq!(rm.first_unacked_failure(), Some((Rank(1), SimTime(20))));
+        rm.acked.insert(Rank(1));
+        assert_eq!(rm.first_unacked_failure(), Some((Rank(2), SimTime(10))));
+        rm.acked.insert(Rank(2));
+        assert!(rm.first_unacked_failure().is_none());
+    }
+}

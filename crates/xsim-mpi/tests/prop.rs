@@ -1,0 +1,141 @@
+//! Model-based property tests: the indexed matching engine must behave
+//! exactly like a naive reference implementation of the MPI matching
+//! rules, for arbitrary interleavings of posts and deliveries.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use xsim_core::{Rank, SimTime};
+use xsim_mpi::msg::{Envelope, MatchQueues, PostedRecv, SrcSel, TagSel};
+use xsim_mpi::CommId;
+
+/// The operations exercised against both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    Deliver { src: u32, tag: u32 },
+    Post { src: Option<u32>, tag: Option<u32> },
+    Cancel { nth_post: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 0u32..3).prop_map(|(src, tag)| Op::Deliver { src, tag }),
+        (proptest::option::of(0u32..4), proptest::option::of(0u32..3))
+            .prop_map(|(src, tag)| Op::Post { src, tag }),
+        (0usize..20).prop_map(|nth_post| Op::Cancel { nth_post }),
+    ]
+}
+
+/// Naive reference: linear scans in post/delivery order.
+#[derive(Default)]
+struct NaiveQueues {
+    unexpected: Vec<Envelope>,
+    posted: Vec<PostedRecv>,
+}
+
+impl NaiveQueues {
+    fn deliver(&mut self, env: Envelope) -> Option<u64> {
+        if let Some(i) = self
+            .posted
+            .iter()
+            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag))
+        {
+            Some(self.posted.remove(i).req)
+        } else {
+            self.unexpected.push(env);
+            None
+        }
+    }
+
+    fn post(&mut self, recv: PostedRecv) -> Option<(Rank, u32, u64)> {
+        if let Some(i) = self
+            .unexpected
+            .iter()
+            .position(|e| recv.src.matches(e.src) && recv.tag.matches(e.tag))
+        {
+            let e = self.unexpected.remove(i);
+            Some((e.src, e.tag, e.seq))
+        } else {
+            self.posted.push(recv);
+            None
+        }
+    }
+
+    fn cancel(&mut self, req: u64) -> bool {
+        match self.posted.iter().position(|p| p.req == req) {
+            Some(i) => {
+                self.posted.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn env(src: u32, tag: u32, seq: u64) -> Envelope {
+    Envelope {
+        src: Rank(src),
+        comm: CommId(0),
+        tag,
+        data: Bytes::new(),
+        seq,
+        header_arrival: SimTime(seq),
+        payload_ready: Some(SimTime(seq)),
+        send_req: None,
+    }
+}
+
+fn recv(req: u64, src: Option<u32>, tag: Option<u32>) -> PostedRecv {
+    PostedRecv {
+        req,
+        comm: CommId(0),
+        src: src.map_or(SrcSel::Any, |s| SrcSel::Of(Rank(s))),
+        tag: tag.map_or(TagSel::Any, TagSel::Of),
+        posted_at: SimTime(0),
+        post_seq: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_naive_reference(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut fast = MatchQueues::default();
+        let mut naive = NaiveQueues::default();
+        let mut seq = 0u64;
+        let mut req = 0u64;
+        let mut posted_reqs: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Deliver { src, tag } => {
+                    seq += 1;
+                    let fast_m = fast.deliver(env(src, tag, seq)).map(|(p, _)| p.req);
+                    let naive_m = naive.deliver(env(src, tag, seq));
+                    prop_assert_eq!(fast_m, naive_m, "deliver diverged");
+                }
+                Op::Post { src, tag } => {
+                    req += 1;
+                    let fast_m = fast
+                        .post(recv(req, src, tag))
+                        .map(|e| (e.src, e.tag, e.seq));
+                    let naive_m = naive.post(recv(req, src, tag));
+                    prop_assert_eq!(fast_m, naive_m, "post diverged");
+                    if fast_m.is_none() {
+                        posted_reqs.push(req);
+                    }
+                }
+                Op::Cancel { nth_post } => {
+                    if posted_reqs.is_empty() {
+                        continue;
+                    }
+                    let id = posted_reqs[nth_post % posted_reqs.len()];
+                    let a = fast.cancel_posted(id);
+                    let b = naive.cancel(id);
+                    prop_assert_eq!(a, b, "cancel diverged");
+                }
+            }
+            prop_assert_eq!(fast.unexpected_len(), naive.unexpected.len());
+            prop_assert_eq!(fast.posted_len(), naive.posted.len());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for topologies and the communication model.
+
+use proptest::prelude::*;
+use xsim_core::{Rank, SimTime};
+use xsim_net::{NetModel, Topology};
+
+fn arb_dims() -> impl Strategy<Value = [usize; 3]> {
+    (1usize..=8, 1usize..=8, 1usize..=8).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        arb_dims().prop_map(|dims| Topology::Torus3d { dims }),
+        arb_dims().prop_map(|dims| Topology::Mesh3d { dims }),
+        (1usize..=256).prop_map(|nodes| Topology::FullyConnected { nodes }),
+        (1usize..=256).prop_map(|nodes| Topology::Star { nodes }),
+        (0u32..=8).prop_map(|dim| Topology::Hypercube { dim }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn hops_symmetric_and_bounded(topo in arb_topology(), a_seed: usize, b_seed: usize) {
+        let n = topo.nodes();
+        prop_assume!(n > 0);
+        let a = a_seed % n;
+        let b = b_seed % n;
+        let ab = topo.hops(a, b);
+        prop_assert_eq!(ab, topo.hops(b, a), "symmetry");
+        prop_assert_eq!(ab == 0, a == b, "zero iff same node");
+        prop_assert!(ab <= topo.diameter(), "within diameter");
+    }
+
+    #[test]
+    fn torus_triangle_inequality(dims in arb_dims(), s in proptest::collection::vec(0usize..4096, 3)) {
+        let t = Topology::Torus3d { dims };
+        let n = t.nodes();
+        let (a, b, c) = (s[0] % n, s[1] % n, s[2] % n);
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    #[test]
+    fn mesh_triangle_inequality(dims in arb_dims(), s in proptest::collection::vec(0usize..4096, 3)) {
+        let t = Topology::Mesh3d { dims };
+        let n = t.nodes();
+        let (a, b, c) = (s[0] % n, s[1] % n, s[2] % n);
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    #[test]
+    fn coords_round_trip(dims in arb_dims(), seed: usize) {
+        for topo in [Topology::Torus3d { dims }, Topology::Mesh3d { dims }] {
+            let n = topo.nodes();
+            let node = seed % n;
+            prop_assert_eq!(topo.node_at(topo.coords(node)), node);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual(dims in arb_dims(), seed: usize) {
+        let t = Topology::Torus3d { dims };
+        let n = t.nodes();
+        let node = seed % n;
+        for nb in t.torus_neighbors(node).into_iter().flatten() {
+            let back = t.torus_neighbors(nb);
+            prop_assert!(
+                back.into_iter().flatten().any(|x| x == node),
+                "neighbor relation must be mutual"
+            );
+        }
+    }
+
+    #[test]
+    fn p2p_timing_monotone_in_size(bytes_a in 0usize..10_000_000, bytes_b in 0usize..10_000_000) {
+        let m = NetModel::paper_machine();
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let t_lo = m.p2p(Rank(0), Rank(1), lo);
+        let t_hi = m.p2p(Rank(0), Rank(1), hi);
+        prop_assert!(t_lo.transfer <= t_hi.transfer);
+        prop_assert_eq!(t_lo.latency, t_hi.latency, "latency independent of size");
+    }
+
+    #[test]
+    fn min_latency_is_lower_bound_for_cross_rank(src in 0u32..32768, dst in 0u32..32768, bytes in 0usize..1_000_000) {
+        let m = NetModel::paper_machine();
+        let t = m.p2p(Rank(src), Rank(dst), bytes);
+        if src != dst {
+            // Cross-rank messages respect the conservative lookahead.
+            prop_assert!(t.latency >= m.min_latency());
+        }
+        // Even self-sends (same node, on-node class, lookahead-exempt
+        // since they never cross engine shards) have positive latency.
+        prop_assert!(t.latency > SimTime::ZERO);
+    }
+}

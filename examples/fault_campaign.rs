@@ -1,0 +1,56 @@
+//! A Finject-style bit-flip campaign against simulated victim processes
+//! (paper Table I, §II-C): inject random bit flips until each victim
+//! crashes, then report the injections-to-failure statistics.
+//!
+//! ```text
+//! cargo run --example fault_campaign
+//! ```
+
+use xsim::fault::bitflip::{run_campaign, CampaignStats, VictimLayout};
+
+fn main() {
+    let layout = VictimLayout::default();
+    println!(
+        "victim memory image: {} KiB total, {:.2}% crash-sensitive (text+pointers)",
+        layout.total_bytes() / 1024,
+        layout.crash_probability() * 100.0
+    );
+
+    let counts = run_campaign(100, 1000, layout, 0x5EED);
+    let stats = CampaignStats::from_counts(&counts).expect("non-empty campaign");
+
+    println!("\nFault (bit flip) injection results (cf. paper Table I):");
+    println!("{:<12} {:>10}  Description", "Field", "Value");
+    println!(
+        "{:<12} {:>10}  # of victim application instances",
+        "Victims", stats.victims
+    );
+    println!(
+        "{:<12} {:>10}  # of injected failures for all runs",
+        "Injections", stats.injections
+    );
+    println!(
+        "{:<12} {:>10}  # of injections to victim failure",
+        "Minimum", stats.min
+    );
+    println!(
+        "{:<12} {:>10}  # of injections to victim failure",
+        "Maximum", stats.max
+    );
+    println!(
+        "{:<12} {:>10.2}  # of injections to victim failure",
+        "Mean", stats.mean
+    );
+    println!(
+        "{:<12} {:>10}  # of injections to victim failure",
+        "Median", stats.median
+    );
+    println!(
+        "{:<12} {:>10}  # of injections to victim failure",
+        "Mode", stats.mode
+    );
+    println!(
+        "{:<12} {:>10.2}  # of injections to victim failure",
+        "Std.Dev.", stats.stddev
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's experiment in miniature: the 3-D heat application with
+//! checkpoint/restart under randomly injected MPI process failures
+//! (paper §V), at a laptop-friendly scale.
+//!
+//! ```text
+//! cargo run --release --example heat3d_checkpoint
+//! ```
+
+use xsim::apps::heat3d::{self, HeatConfig};
+use xsim::apps::ComputeMode;
+use xsim::prelude::*;
+
+fn make_builder(n: usize) -> SimBuilder {
+    SimBuilder::new(n)
+        .net(NetModel::small(n))
+        .proc(ProcModel::with_slowdown(1000.0))
+}
+
+fn main() {
+    let mut cfg = HeatConfig::small();
+    cfg.ranks = [2, 2, 2];
+    cfg.global = [16, 16, 16];
+    cfg.iterations = 200;
+    cfg.ckpt_interval = 25;
+    cfg.halo_interval = 25;
+    cfg.mode = ComputeMode::Modeled;
+    cfg.per_point = SimTime::from_micros(2);
+    let n = cfg.n_ranks();
+
+    // Baseline: failure-free execution time (Table II's E1).
+    let e1 = make_builder(n)
+        .run(heat3d::program(cfg.clone()))
+        .expect("baseline run")
+        .exit_time();
+    println!("E1 (no failures): {e1}");
+
+    // Failure/restart campaign with MTTF = E1/2 (several failures).
+    let mttf = e1.scale(0.5);
+    let store = FsStore::new();
+    let orchestrator = Orchestrator::new(
+        FailureModel::UniformTwiceMttf { mttf },
+        0xBEEF,
+        CheckpointManager::new(&cfg.prefix),
+    );
+    let result = orchestrator
+        .run_to_completion(
+            store,
+            heat3d::program(cfg.clone()),
+            n,
+            || make_builder(n),
+        )
+        .expect("campaign");
+
+    println!("system MTTF: {mttf}");
+    println!(
+        "E2 (with failures and restarts): {} over {} run(s)",
+        result.finish_time,
+        result.runs.len()
+    );
+    println!("failures experienced (F): {}", result.failures);
+    if let Some(mttfa) = result.application_mttf() {
+        println!("application MTTF (E2 / (F+1)): {mttfa}");
+    }
+    for (i, run) in result.runs.iter().enumerate() {
+        println!(
+            "  run {i}: exit {:?} at {}, {} failure(s)",
+            run.sim.exit,
+            run.exit_time(),
+            run.sim.failures.len()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! ULFM-style recovery (the paper's future-work capability, §VI):
+//! detect a process failure via `MPI_ERR_PROC_FAILED`, revoke the
+//! communicator, shrink it to the survivors, and keep computing —
+//! without checkpoint/restart.
+//!
+//! ```text
+//! cargo run --example ulfm_shrink
+//! ```
+
+use xsim::prelude::*;
+
+fn main() {
+    let n = 8;
+    let report = SimBuilder::new(n)
+        .net(NetModel::small(n))
+        .errhandler(ErrHandler::Return) // ULFM requires MPI_ERRORS_RETURN
+        .inject_failure(3, SimTime::from_millis(50))
+        .verbose(true)
+        .run_app(|mpi| async move {
+            let w = mpi.world();
+
+            // Phase 1: everyone computes, then allreduces. Rank 3 dies
+            // during the compute phase; the collective surfaces
+            // MPI_ERR_PROC_FAILED at some rank(s).
+            mpi.sleep(SimTime::from_millis(100)).await;
+            let r = mpi.allreduce_f64(w, &[1.0], ReduceOp::Sum).await;
+            let comm = match r {
+                Ok(v) => {
+                    // Possible for late-notified ranks; proceed until
+                    // the revoke reaches them.
+                    println!("rank {}: phase-1 sum {}", mpi.rank, v[0]);
+                    w
+                }
+                Err(MpiError::ProcFailed { rank, .. }) => {
+                    println!(
+                        "rank {}: detected failure of rank {rank}, revoking",
+                        mpi.rank
+                    );
+                    mpi.comm_revoke(w)?;
+                    w
+                }
+                Err(MpiError::Revoked) => w,
+                Err(e) => return Err(e),
+            };
+
+            // Phase 2: agree on survivors and continue on the shrunken
+            // communicator.
+            let shrunk = match mpi.comm_shrink(comm).await {
+                Ok(c) => c,
+                Err(MpiError::Revoked) => mpi.comm_shrink(comm).await?,
+                Err(e) => return Err(e),
+            };
+            let size = mpi.comm_size(shrunk)?;
+            let sum = mpi.allreduce_f64(shrunk, &[1.0], ReduceOp::Sum).await?;
+            if mpi.comm_rank(shrunk)? == 0 {
+                println!("survivors: {size}; phase-2 sum over survivors: {}", sum[0]);
+                assert_eq!(sum[0] as usize, size);
+            }
+            mpi.finalize();
+            Ok(())
+        })
+        .expect("simulation failed");
+
+    println!(
+        "run exit: {:?}; failures: {}; max virtual time {}",
+        report.sim.exit,
+        report.sim.failures.len(),
+        report.sim.timing.max
+    );
+}

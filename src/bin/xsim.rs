@@ -1,0 +1,256 @@
+//! `xsim` — command-line front end.
+//!
+//! Mirrors the usage surface the paper describes: failure schedules as
+//! rank/time pairs "on the command line or via an environment variable"
+//! (§IV-B), machine/model knobs, and the checkpoint/restart campaign
+//! loop of §V.
+//!
+//! ```text
+//! xsim heat  --ranks 4x4x4 --global 64x64x64 --iters 200 --ckpt 25 \
+//!            [--mttf SECONDS] [--failures "r:t,r:t"] [--seed N]
+//!            [--workers N] [--slowdown F] [--power] [--trace FILE.csv]
+//! xsim ring  --ranks N [--laps N] [--payload BYTES]
+//! ```
+//!
+//! The `XSIM_FAILURES` environment variable is honored as an additional
+//! failure schedule.
+
+use std::collections::HashMap;
+use std::process::exit;
+use xsim::apps::heat3d::{self, HeatConfig};
+use xsim::apps::kernels;
+use xsim::apps::ComputeMode;
+use xsim::prelude::*;
+use xsim_proc::PowerModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  xsim heat --ranks AxBxC --global XxYxZ --iters N --ckpt N \\\n    \
+         [--halo N] [--mttf SECONDS] [--failures \"r:t,r:t\"] [--seed N] \\\n    \
+         [--workers N] [--slowdown F] [--per-point-ns N] [--power] [--trace FILE]\n  \
+         xsim ring --ranks N [--laps N] [--payload BYTES] [--workers N]\n\n\
+         XSIM_FAILURES=\"rank:seconds,...\" adds failures (paper §IV-B)."
+    );
+    exit(2)
+}
+
+fn parse_triple(s: &str) -> Option<[usize; 3]> {
+    let parts: Vec<usize> = s.split('x').map(|p| p.parse().ok()).collect::<Option<_>>()?;
+    (parts.len() == 3).then(|| [parts[0], parts[1], parts[2]])
+}
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument: {}", args[i]);
+            usage()
+        };
+        if matches!(key, "power") {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let Some(val) = args.get(i + 1) else {
+                eprintln!("--{key} needs a value");
+                usage()
+            };
+            map.insert(key.to_string(), val.clone());
+            i += 2;
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T {
+    match map.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {v}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+fn gather_failures(map: &HashMap<String, String>) -> FailureSchedule {
+    let mut schedule = match map.get("failures") {
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        }),
+        None => FailureSchedule::new(),
+    };
+    match FailureSchedule::from_env() {
+        Ok(Some(env)) => {
+            for (r, t) in env.iter() {
+                schedule.push(r, t);
+            }
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("XSIM_FAILURES: {e}");
+            usage()
+        }
+    }
+    schedule
+}
+
+fn cmd_heat(map: HashMap<String, String>) {
+    let ranks = map
+        .get("ranks")
+        .and_then(|s| parse_triple(s))
+        .unwrap_or([2, 2, 2]);
+    let global = map
+        .get("global")
+        .and_then(|s| parse_triple(s))
+        .unwrap_or([ranks[0] * 8, ranks[1] * 8, ranks[2] * 8]);
+    let iters: u64 = get(&map, "iters", 100);
+    let ckpt: u64 = get(&map, "ckpt", iters / 4);
+    let halo: u64 = get(&map, "halo", ckpt);
+    let seed: u64 = get(&map, "seed", 17);
+    let workers: usize = get(&map, "workers", 1);
+    let slowdown: f64 = get(&map, "slowdown", 1000.0);
+    let per_point_ns: u64 = get(&map, "per-point-ns", 1280);
+    let power = map.contains_key("power");
+
+    let cfg = HeatConfig {
+        global,
+        ranks,
+        iterations: iters,
+        halo_interval: halo.max(1),
+        ckpt_interval: ckpt.max(1),
+        mode: ComputeMode::Modeled,
+        per_point: SimTime::from_nanos(per_point_ns),
+        prefix: "heat".into(),
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid heat configuration: {e}");
+        exit(2);
+    }
+    let n = cfg.n_ranks();
+    let schedule = gather_failures(&map);
+
+    let make_builder = || {
+        let mut net = NetModel::paper_machine();
+        net.topology = xsim::net::Topology::Torus3d { dims: cfg.ranks };
+        let mut b = SimBuilder::new(n)
+            .net(net)
+            .proc(ProcModel::with_slowdown(slowdown))
+            .workers(workers)
+            .seed(seed);
+        if power {
+            b = b.power(PowerModel::typical_node());
+        }
+        b
+    };
+
+    // Baseline (E1).
+    let baseline = make_builder()
+        .inject_failures(schedule.iter())
+        .run(heat3d::program(cfg.clone()))
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            exit(1)
+        });
+    println!(
+        "run: {:?} at {} ({} failures, {} events, wall {:.2?})",
+        baseline.sim.exit,
+        baseline.exit_time(),
+        baseline.sim.failures.len(),
+        baseline.sim.events_processed,
+        baseline.sim.wall,
+    );
+    if let Some(p) = &baseline.power {
+        println!(
+            "energy: {:.1} kJ total ({:.1} kJ busy, {:.1} kJ idle, {:.3} kJ network), busy fraction {:.1}%",
+            p.total_joules / 1e3,
+            p.busy_joules / 1e3,
+            p.idle_joules / 1e3,
+            p.network_joules / 1e3,
+            p.busy_fraction * 100.0
+        );
+    }
+
+    // Optional MTTF-driven campaign.
+    if let Some(mttf_s) = map.get("mttf") {
+        let mttf = SimTime::from_secs_f64(mttf_s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --mttf");
+            usage()
+        }));
+        let store = FsStore::new();
+        let orch = Orchestrator::new(
+            FailureModel::UniformTwiceMttf { mttf },
+            seed,
+            CheckpointManager::new(&cfg.prefix),
+        );
+        let result = orch
+            .run_to_completion(store, heat3d::program(cfg.clone()), n, make_builder)
+            .unwrap_or_else(|e| {
+                eprintln!("campaign failed: {e}");
+                exit(1)
+            });
+        println!(
+            "campaign (MTTF_s {mttf}): E2 = {}, F = {}, runs = {}, completed = {}",
+            result.finish_time,
+            result.failures,
+            result.runs.len(),
+            result.completed
+        );
+        if let Some(mttfa) = result.application_mttf() {
+            println!("application MTTF (E2/(F+1)): {mttfa}");
+        }
+    }
+
+    // Optional trace of the (failure-free) run.
+    if let Some(path) = map.get("trace") {
+        let traced = make_builder()
+            .trace(true)
+            .run(heat3d::program(cfg.clone()))
+            .unwrap_or_else(|e| {
+                eprintln!("trace run failed: {e}");
+                exit(1)
+            });
+        let trace = traced.trace.expect("tracing enabled");
+        std::fs::write(path, trace.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        println!(
+            "trace: {} events written to {path} (compute fraction {:.1}%)",
+            trace.events.len(),
+            trace.compute_fraction() * 100.0
+        );
+    }
+}
+
+fn cmd_ring(map: HashMap<String, String>) {
+    let n: usize = get(&map, "ranks", 64);
+    let laps: u32 = get(&map, "laps", 3);
+    let payload: usize = get(&map, "payload", 1024);
+    let workers: usize = get(&map, "workers", 1);
+    let report = SimBuilder::new(n)
+        .net(NetModel::small(n))
+        .workers(workers)
+        .inject_failures(gather_failures(&map).iter())
+        .run(kernels::ring(laps, payload))
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            exit(1)
+        });
+    println!(
+        "ring({laps} laps, {payload} B, {n} ranks): {:?} at {}; {} sends, wall {:.2?}",
+        report.sim.exit,
+        report.exit_time(),
+        report.mpi.sends,
+        report.sim.wall
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("heat") => cmd_heat(parse_args(&args[1..])),
+        Some("ring") => cmd_ring(parse_args(&args[1..])),
+        _ => usage(),
+    }
+}
