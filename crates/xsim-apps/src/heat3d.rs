@@ -251,9 +251,9 @@ impl Grid {
 
     /// Unpack received data into the halo layer of direction `dir`.
     fn unpack_halo(&mut self, dir: usize, data: &[u8]) {
-        let mut vals = data.chunks_exact(8).map(|c| {
-            f64::from_le_bytes(c.try_into().expect("chunk of 8"))
-        });
+        let mut vals = data
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")));
         // Collect indices first to avoid borrowing issues.
         let mut idxs = Vec::new();
         self.for_face(dir, true, |_, idx| idxs.push(idx));
@@ -271,10 +271,10 @@ impl Grid {
         let dim = dir / 2;
         let positive = dir.is_multiple_of(2);
         let fixed = match (dim, positive, halo) {
-            (d, true, false) => self.l[d],      // interior high layer
-            (d, true, true) => self.l[d] + 1,   // high halo
-            (_, false, false) => 1,             // interior low layer
-            (_, false, true) => 0,              // low halo
+            (d, true, false) => self.l[d],    // interior high layer
+            (d, true, true) => self.l[d] + 1, // high halo
+            (_, false, false) => 1,           // interior low layer
+            (_, false, true) => 0,            // low halo
         };
         match dim {
             0 => {
@@ -340,7 +340,12 @@ fn config_fingerprint(cfg: &HeatConfig) -> Bytes {
     b.freeze()
 }
 
-async fn halo_exchange(mpi: &MpiCtx, w: Comm, cfg: &HeatConfig, state: &mut State) -> Result<(), MpiError> {
+async fn halo_exchange(
+    mpi: &MpiCtx,
+    w: Comm,
+    cfg: &HeatConfig,
+    state: &mut State,
+) -> Result<(), MpiError> {
     let neighbors = cfg.neighbors(mpi.rank);
     let faces = cfg.face_points();
     let mut recvs = Vec::new();
@@ -435,8 +440,7 @@ pub fn program(cfg: HeatConfig) -> Arc<dyn VpProgram> {
         async move {
             let w = mpi.world();
             let mgr = CheckpointManager::new(&cfg.prefix);
-            let store =
-                xsim_core::ctx::with_kernel(|k, _| k.service::<FsService>().store.clone());
+            let store = xsim_core::ctx::with_kernel(|k, _| k.service::<FsService>().store.clone());
 
             // Restart path: load the newest valid checkpoint, deleting
             // corrupted ones (paper §V-B); agree on the restart
@@ -611,8 +615,7 @@ mod tests {
             g2.unpack_halo(dir, &face);
             let interior_changed = (1..=c.local()[0]).any(|i| {
                 (1..=c.local()[1]).any(|j| {
-                    (1..=c.local()[2])
-                        .any(|k| g2.data[g2.idx(i, j, k)] != before[g2.idx(i, j, k)])
+                    (1..=c.local()[2]).any(|k| g2.data[g2.idx(i, j, k)] != before[g2.idx(i, j, k)])
                 })
             });
             assert!(!interior_changed, "dir {dir} wrote interior");

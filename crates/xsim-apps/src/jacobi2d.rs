@@ -116,9 +116,7 @@ pub fn program(
                 let mut reqs = Vec::new();
                 if let Some(up) = up {
                     reqs.push((0usize, mpi.irecv(w, Some(up), Some(1))?));
-                    let _ = mpi
-                        .isend(w, up, 0, pack_row(&u[nx..2 * nx]))
-                        .await?;
+                    let _ = mpi.isend(w, up, 0, pack_row(&u[nx..2 * nx])).await?;
                 }
                 if let Some(down) = down {
                     reqs.push((1usize, mpi.irecv(w, Some(down), Some(0))?));
@@ -141,8 +139,7 @@ pub fn program(
                 for r in 1..=rows {
                     for x in 1..nx - 1 {
                         let c = r * nx + x;
-                        let v = 0.25
-                            * (u[c - 1] + u[c + 1] + u[c - nx] + u[c + nx]);
+                        let v = 0.25 * (u[c - 1] + u[c + 1] + u[c - nx] + u[c + nx]);
                         local_max = local_max.max((v - u[c]).abs());
                         next[c] = v;
                     }
@@ -161,7 +158,10 @@ pub fn program(
             }
             if mpi.rank == 0 {
                 if let Some(cb) = &on_done {
-                    cb(JacobiOutcome { iters: it, residual });
+                    cb(JacobiOutcome {
+                        iters: it,
+                        residual,
+                    });
                 }
             }
             mpi.finalize();

@@ -21,7 +21,8 @@ pub fn ring(laps: u32, payload: usize) -> Arc<dyn VpProgram> {
         let left = (mpi.rank + mpi.size - 1) % mpi.size;
         for lap in 0..laps {
             if mpi.rank == 0 {
-                mpi.send(w, right, lap, Bytes::from(vec![0u8; payload])).await?;
+                mpi.send(w, right, lap, Bytes::from(vec![0u8; payload]))
+                    .await?;
                 mpi.recv(w, Some(left), Some(lap)).await?;
             } else {
                 let msg = mpi.recv(w, Some(left), Some(lap)).await?;

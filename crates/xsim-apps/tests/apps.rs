@@ -45,7 +45,10 @@ fn jacobi_converges_and_agrees_across_rank_counts() {
     );
     assert!(single.iters < 2000, "hit the iteration cap");
     let multi = run(4);
-    assert_eq!(multi.iters, single.iters, "decomposition changed convergence");
+    assert_eq!(
+        multi.iters, single.iters,
+        "decomposition changed convergence"
+    );
     assert!((multi.residual - single.residual).abs() < 1e-12);
 }
 

@@ -40,9 +40,7 @@ fn bench_event_throughput(c: &mut Criterion) {
         let events = (n as u64) * (slices as u64 + 1);
         g.throughput(Throughput::Elements(events));
         g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
-            b.iter(|| {
-                engine::run(cfg(n, 1), Arc::new(sleepy(slices)), &no_setup).unwrap()
-            });
+            b.iter(|| engine::run(cfg(n, 1), Arc::new(sleepy(slices)), &no_setup).unwrap());
         });
     }
     g.finish();

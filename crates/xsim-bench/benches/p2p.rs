@@ -5,10 +5,10 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use xsim_apps::kernels;
+use xsim_core::{Rank, SimTime};
 use xsim_mpi::msg::{Envelope, MatchQueues, PostedRecv, SrcSel, TagSel};
 use xsim_mpi::{CommId, SimBuilder};
 use xsim_net::NetModel;
-use xsim_core::{Rank, SimTime};
 
 fn bench_pingpong(c: &mut Criterion) {
     let mut g = c.benchmark_group("p2p/pingpong");

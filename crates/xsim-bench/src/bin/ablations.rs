@@ -59,8 +59,12 @@ fn section_collectives() {
         let c_tree = run_virtual(
             n,
             mpi_program(|mpi: MpiCtx| async move {
-                xsim_mpi::collective::bcast_tree(mpi.world().id, 0, Bytes::from(vec![0u8; 64 * 1024]))
-                    .await?;
+                xsim_mpi::collective::bcast_tree(
+                    mpi.world().id,
+                    0,
+                    Bytes::from(vec![0u8; 64 * 1024]),
+                )
+                .await?;
                 mpi.finalize();
                 Ok(())
             }),
@@ -76,7 +80,14 @@ fn section_eager_threshold() {
         "{:>12} {:>18} {:>18}",
         "payload", "sender blocked", "round trip"
     );
-    for payload in [4usize << 10, 64 << 10, 256 << 10, 257 << 10, 1 << 20, 4 << 20] {
+    for payload in [
+        4usize << 10,
+        64 << 10,
+        256 << 10,
+        257 << 10,
+        1 << 20,
+        4 << 20,
+    ] {
         let program = mpi_program(move |mpi: MpiCtx| async move {
             let w = mpi.world();
             if mpi.rank == 0 {
@@ -175,7 +186,9 @@ fn section_engines() {
 }
 
 fn section_fs_cost() {
-    println!("## Checkpoint I/O cost ablation (E1 of heat, 512 ranks, C=25, 256 KiB/rank checkpoints)");
+    println!(
+        "## Checkpoint I/O cost ablation (E1 of heat, 512 ranks, C=25, 256 KiB/rank checkpoints)"
+    );
     let cfg = HeatConfig {
         ranks: [8, 8, 8],
         global: [256, 256, 256],
@@ -260,6 +273,22 @@ fn section_drain_contention() {
 }
 
 fn main() {
+    let flags = xsim_bench::parse_flags();
+    if let Some(p) = &flags.profile {
+        // Profile one representative configuration: a 64-rank barrier on
+        // the small machine, traced and metered.
+        let report = SimBuilder::new(64)
+            .net(NetModel::small(64))
+            .trace(true)
+            .metrics(true)
+            .run(mpi_program(|mpi: MpiCtx| async move {
+                mpi.barrier(mpi.world()).await?;
+                mpi.finalize();
+                Ok(())
+            }))
+            .expect("profile run");
+        xsim_bench::write_profile(&report, p);
+    }
     section_collectives();
     section_eager_threshold();
     section_detectors();

@@ -14,7 +14,7 @@
 
 use xsim_apps::heat3d::{self, HeatConfig};
 use xsim_apps::ComputeMode;
-use xsim_bench::{parse_flags, paper_builder};
+use xsim_bench::{paper_builder, parse_flags};
 use xsim_ckpt::{daly_interval, expected_runtime, CheckpointManager, Orchestrator};
 use xsim_core::SimTime;
 use xsim_fault::FailureModel;
@@ -50,9 +50,7 @@ fn main() {
     println!(
         "heat, 512 ranks, 1000 iterations, iteration time {iter_time}, δ = {delta}, MTTF_s = {mttf}"
     );
-    println!(
-        "Daly optimum: τ = {t_daly} ≈ every {c_daly} iterations\n"
-    );
+    println!("Daly optimum: τ = {t_daly} ≈ every {c_daly} iterations\n");
     println!(
         "{:>6} {:>12} {:>14} {:>10} {:>14}",
         "C", "E1", "E2 (avg)", "F (avg)", "Daly E[T]"
@@ -82,9 +80,12 @@ fn main() {
             );
             let cfg2 = cfg.clone();
             let result = orch
-                .run_to_completion(store, heat3d::program(cfg.clone()), cfg.n_ranks(), move || {
-                    paper_builder(&cfg2, flags.workers, seed).fs_model(fs)
-                })
+                .run_to_completion(
+                    store,
+                    heat3d::program(cfg.clone()),
+                    cfg.n_ranks(),
+                    move || paper_builder(&cfg2, flags.workers, seed).fs_model(fs),
+                )
                 .expect("campaign");
             assert!(result.completed);
             e2_sum += result.finish_time.as_secs_f64();

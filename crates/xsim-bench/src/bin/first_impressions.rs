@@ -14,7 +14,7 @@
 //! ```
 
 use xsim_apps::heat3d::{self, HeatConfig};
-use xsim_bench::{parse_flags, paper_builder, table2_config, Scale};
+use xsim_bench::{paper_builder, parse_flags, table2_config, write_profile, Scale};
 use xsim_ckpt::CheckpointManager;
 use xsim_core::{ExitKind, SimTime};
 use xsim_fs::FsModel;
@@ -56,13 +56,19 @@ fn main() {
         read_bw: 2.0e9,
     };
 
-    let clean = paper_builder(&cfg, flags.workers, flags.seed)
-        .fs_model(fs_model)
+    let mut builder = paper_builder(&cfg, flags.workers, flags.seed).fs_model(fs_model);
+    if flags.profile.is_some() {
+        builder = builder.trace(true).metrics(true);
+    }
+    let clean = builder
         .run(heat3d::program(cfg.clone()))
         .expect("clean run");
     assert_eq!(clean.sim.exit, ExitKind::Completed);
-    let compute = SimTime(cfg.per_point.as_nanos() * cfg.points_per_rank() * cfg.ckpt_interval)
-        .scale(1000.0);
+    if let Some(p) = &flags.profile {
+        write_profile(&clean, p);
+    }
+    let compute =
+        SimTime(cfg.per_point.as_nanos() * cfg.points_per_rank() * cfg.ckpt_interval).scale(1000.0);
     println!(
         "clean run: E1 = {}; per period: {} compute, then halo exchange, \
          then ~{io} checkpoint write, barrier, and ~{io} delete of the \
@@ -74,8 +80,13 @@ fn main() {
 
     // Probe: a mid-compute failure in period 1 activates exactly at the
     // period's compute end (paper §IV-B) — this anchors the timeline.
-    let (a1, ab1, latest1, rem1) =
-        run_injection(&cfg, fs_model, flags.workers, flags.seed, compute.scale(0.5));
+    let (a1, ab1, latest1, rem1) = run_injection(
+        &cfg,
+        fs_model,
+        flags.workers,
+        flags.seed,
+        compute.scale(0.5),
+    );
     println!("failure during COMPUTATION (injected mid-compute of period 1):");
     println!(
         "    activated at {a1} = end of the compute phase; detected in the halo \
@@ -85,7 +96,9 @@ fn main() {
     println!(
         "    store afterwards: {} complete checkpoint(s); {} incomplete set(s) \
          cleaned (the interrupted period never finished its checkpoint)",
-        latest1.map(|g| format!("iteration {g}")).unwrap_or("no".into()),
+        latest1
+            .map(|g| format!("iteration {g}"))
+            .unwrap_or("no".into()),
         rem1
     );
 
@@ -117,7 +130,9 @@ fn main() {
     println!(
         "    store afterwards: survives {}; {} incomplete/corrupted checkpoint \
          set(s) cleaned",
-        latest3.map(|g| format!("iteration {g}")).unwrap_or("none".into()),
+        latest3
+            .map(|g| format!("iteration {g}"))
+            .unwrap_or("none".into()),
         rem3
     );
 
@@ -132,14 +147,13 @@ fn main() {
     );
     println!();
     println!("failure during the POST-BARRIER DELETE of the old checkpoint:");
-    println!(
-        "    activated at {a4}; abort at {}",
-        ab4.expect("aborted")
-    );
+    println!("    activated at {a4}; abort at {}", ab4.expect("aborted"));
     println!(
         "    store afterwards: survives {}; {} partially deleted old \
          generation(s) cleaned",
-        latest4.map(|g| format!("iteration {g}")).unwrap_or("none".into()),
+        latest4
+            .map(|g| format!("iteration {g}"))
+            .unwrap_or("none".into()),
         rem4
     );
 

@@ -9,7 +9,7 @@
 //! ```
 
 use xsim_apps::kernels;
-use xsim_bench::{parse_flags, peak_rss_kib};
+use xsim_bench::{parse_flags, peak_rss_kib, write_profile};
 use xsim_core::SimTime;
 use xsim_mpi::SimBuilder;
 use xsim_net::{NetModel, Topology};
@@ -28,6 +28,9 @@ fn torus_for(n: usize) -> Topology {
 
 fn main() {
     let flags = parse_flags();
+    // When profiling, trace+meter the smallest ring run (the larger ones
+    // would produce multi-GB traces).
+    let mut profile = flags.profile.clone();
     println!(
         "{:>10} {:>12} {:>10} {:>12} {:>12} {:>12}",
         "ranks", "app", "wall", "events", "events/s", "peakRSS MiB"
@@ -55,13 +58,17 @@ fn main() {
         );
         // ring: every rank communicates (one lap).
         if exp <= 18 {
+            let prof = profile.take();
             let t = std::time::Instant::now();
-            let report = SimBuilder::new(n)
-                .net(net)
-                .workers(flags.workers)
-                .run(kernels::ring(1, 64))
-                .expect("ring run");
+            let mut builder = SimBuilder::new(n).net(net).workers(flags.workers);
+            if prof.is_some() {
+                builder = builder.trace(true).metrics(true);
+            }
+            let report = builder.run(kernels::ring(1, 64)).expect("ring run");
             let wall = t.elapsed();
+            if let Some(p) = prof {
+                write_profile(&report, &p);
+            }
             println!(
                 "{:>10} {:>12} {:>10.2?} {:>12} {:>12.0} {:>12.1}",
                 n,

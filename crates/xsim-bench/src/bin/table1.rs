@@ -19,14 +19,46 @@ struct PaperRow {
 }
 
 const PAPER: &[PaperRow] = &[
-    PaperRow { field: "Victims", paper: "100", desc: "# of victim application instances" },
-    PaperRow { field: "Injections", paper: "2197", desc: "# of injected failures for all runs" },
-    PaperRow { field: "Minimum", paper: "1", desc: "# of injections to victim failure" },
-    PaperRow { field: "Maximum", paper: "98", desc: "# of injections to victim failure" },
-    PaperRow { field: "Mean", paper: "21.97", desc: "# of injections to victim failure" },
-    PaperRow { field: "Median", paper: "17", desc: "# of injections to victim failure" },
-    PaperRow { field: "Mode", paper: "4", desc: "# of injections to victim failure" },
-    PaperRow { field: "Std.Dev.", paper: "21.42", desc: "# of injections to victim failure" },
+    PaperRow {
+        field: "Victims",
+        paper: "100",
+        desc: "# of victim application instances",
+    },
+    PaperRow {
+        field: "Injections",
+        paper: "2197",
+        desc: "# of injected failures for all runs",
+    },
+    PaperRow {
+        field: "Minimum",
+        paper: "1",
+        desc: "# of injections to victim failure",
+    },
+    PaperRow {
+        field: "Maximum",
+        paper: "98",
+        desc: "# of injections to victim failure",
+    },
+    PaperRow {
+        field: "Mean",
+        paper: "21.97",
+        desc: "# of injections to victim failure",
+    },
+    PaperRow {
+        field: "Median",
+        paper: "17",
+        desc: "# of injections to victim failure",
+    },
+    PaperRow {
+        field: "Mode",
+        paper: "4",
+        desc: "# of injections to victim failure",
+    },
+    PaperRow {
+        field: "Std.Dev.",
+        paper: "21.42",
+        desc: "# of injections to victim failure",
+    },
 ];
 
 fn main() {
@@ -61,6 +93,9 @@ fn main() {
         format!("{:.2}", s.stddev),
     ];
     for (row, m) in PAPER.iter().zip(measured) {
-        println!("{:<12} {:>10} {:>10}  {}", row.field, m, row.paper, row.desc);
+        println!(
+            "{:<12} {:>10} {:>10}  {}",
+            row.field, m, row.paper, row.desc
+        );
     }
 }

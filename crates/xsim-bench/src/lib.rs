@@ -18,7 +18,7 @@ use xsim_ckpt::{CampaignResult, CheckpointManager, Orchestrator};
 use xsim_core::{SimError, SimTime};
 use xsim_fault::FailureModel;
 use xsim_fs::FsStore;
-use xsim_mpi::SimBuilder;
+use xsim_mpi::{RunReport, SimBuilder};
 use xsim_net::NetModel;
 use xsim_proc::ProcModel;
 
@@ -57,11 +57,7 @@ pub fn run_heat_campaign(
 }
 
 /// Failure-free execution time of a heat configuration (Table II's E1).
-pub fn run_heat_baseline(
-    cfg: &HeatConfig,
-    workers: usize,
-    seed: u64,
-) -> Result<SimTime, SimError> {
+pub fn run_heat_baseline(cfg: &HeatConfig, workers: usize, seed: u64) -> Result<SimTime, SimError> {
     let report = paper_builder(cfg, workers, seed).run(heat3d::program(cfg.clone()))?;
     Ok(report.exit_time())
 }
@@ -105,8 +101,13 @@ pub fn parse_flags() -> Flags {
             "--seed" => {
                 flags.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
             }
+            "--profile" => {
+                flags.profile = Some(args.next().expect("--profile out.json"));
+            }
             other => {
-                eprintln!("unknown flag {other}; known: --quick --workers N --seed N");
+                eprintln!(
+                    "unknown flag {other}; known: --quick --workers N --seed N --profile out.json"
+                );
                 std::process::exit(2);
             }
         }
@@ -115,7 +116,7 @@ pub fn parse_flags() -> Flags {
 }
 
 /// Parsed harness flags.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Flags {
     /// Scale selection.
     pub scale: Scale,
@@ -123,6 +124,9 @@ pub struct Flags {
     pub workers: usize,
     /// Master seed.
     pub seed: u64,
+    /// Write a Chrome trace (plus `*.metrics.json` snapshot) of one
+    /// representative run to this path.
+    pub profile: Option<String>,
 }
 
 impl Default for Flags {
@@ -134,7 +138,26 @@ impl Default for Flags {
             // failures in their first run (any seed is valid; the runs
             // are deterministic per seed).
             seed: 17,
+            profile: None,
         }
+    }
+}
+
+/// Write the profile of a traced+metered run: the merged Chrome trace to
+/// `path` (load it in `chrome://tracing` or Perfetto) and the metrics
+/// snapshot to a sibling `*.metrics.json`. Harness binaries call this
+/// when `--profile` is given.
+pub fn write_profile(report: &RunReport, path: &str) {
+    if let Some(json) = report.chrome_trace_json() {
+        std::fs::write(path, json).expect("write Chrome trace");
+    }
+    if let Some(json) = report.metrics_json() {
+        let mpath = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.metrics.json"),
+            None => format!("{path}.metrics.json"),
+        };
+        std::fs::write(&mpath, json).expect("write metrics snapshot");
+        eprintln!("profile: wrote {path} and {mpath}");
     }
 }
 

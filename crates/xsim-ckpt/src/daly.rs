@@ -79,6 +79,61 @@ pub fn expected_runtime(
     SimTime::from_secs_f64(total)
 }
 
+/// Predicted vs measured checkpoint overhead for one run. Build with
+/// [`compare_overhead`] from the observability layer's totals (the
+/// `ckpt.commit_ns` histogram sum and the run's exit time) and the
+/// configured interval/commit cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadComparison {
+    /// Model-predicted overhead fraction in the failure-free limit:
+    /// `δ / (τ + δ)` — of every interval-plus-commit cycle, the commit
+    /// share is pure overhead.
+    pub predicted_fraction: f64,
+    /// Measured overhead fraction: virtual time spent committing
+    /// checkpoints over total virtual run time.
+    pub actual_fraction: f64,
+}
+
+impl OverheadComparison {
+    /// Signed prediction error (`actual − predicted`); positive means
+    /// checkpointing cost more than the model predicts (e.g. rework
+    /// after failures, I/O contention).
+    pub fn error(&self) -> f64 {
+        self.actual_fraction - self.predicted_fraction
+    }
+}
+
+/// Failure-free predicted checkpoint-overhead fraction for checkpoint
+/// interval `tau` and per-checkpoint commit cost `delta`.
+pub fn predicted_overhead_fraction(tau: SimTime, delta: SimTime) -> f64 {
+    let t = tau.as_secs_f64();
+    let d = delta.as_secs_f64();
+    if d <= 0.0 || t + d <= 0.0 {
+        return 0.0;
+    }
+    d / (t + d)
+}
+
+/// Compare the Daly-model prediction against a run's measured totals:
+/// `ckpt_ns` is the total virtual time spent committing checkpoints
+/// (the observability layer's `ckpt.commit_ns` histogram sum) and
+/// `run_ns` the total virtual run time.
+pub fn compare_overhead(
+    tau: SimTime,
+    delta: SimTime,
+    ckpt_ns: u64,
+    run_ns: u64,
+) -> OverheadComparison {
+    OverheadComparison {
+        predicted_fraction: predicted_overhead_fraction(tau, delta),
+        actual_fraction: if run_ns == 0 {
+            0.0
+        } else {
+            ckpt_ns as f64 / run_ns as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +190,19 @@ mod tests {
                 "tau = {factor}·t_opt beats the optimum: {other} < {best}"
             );
         }
+    }
+
+    #[test]
+    fn overhead_comparison_matches_hand_math() {
+        // τ = 90 s, δ = 10 s: 10/(90+10) = 10% predicted overhead.
+        let c = compare_overhead(s(90.0), s(10.0), 30_000_000_000, 200_000_000_000);
+        assert!((c.predicted_fraction - 0.10).abs() < 1e-12);
+        assert!((c.actual_fraction - 0.15).abs() < 1e-12);
+        assert!((c.error() - 0.05).abs() < 1e-12);
+        // Degenerate inputs stay finite.
+        let z = compare_overhead(SimTime::ZERO, SimTime::ZERO, 0, 0);
+        assert_eq!(z.predicted_fraction, 0.0);
+        assert_eq!(z.actual_fraction, 0.0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub mod manager;
 pub mod orchestrator;
 
 pub use codec::{crc32, Checkpoint, CodecError};
-pub use daly::{daly_interval, expected_runtime, young_interval};
+pub use daly::{
+    compare_overhead, daly_interval, expected_runtime, predicted_overhead_fraction, young_interval,
+    OverheadComparison,
+};
 pub use manager::{read_exit_time, write_exit_time, CheckpointManager, EXIT_TIME_FILE};
 pub use orchestrator::{CampaignResult, Orchestrator};

@@ -11,7 +11,15 @@
 use crate::codec::Checkpoint;
 use bytes::Bytes;
 use std::sync::Arc;
+use xsim_core::{ctx, SimTime};
 use xsim_fs::{self as fs, FileState, FsError, FsStore};
+use xsim_obs::service as obs;
+use xsim_obs::{ids, ObsSpan};
+
+/// Virtual clock of the current VP if metrics are enabled, else `None`.
+fn obs_clock() -> Option<SimTime> {
+    ctx::with_kernel(|k, rank| obs::enabled(k).then(|| k.vp(rank).clock))
+}
 
 /// Name of the file carrying the virtual exit time across restarts
 /// (paper §IV-E: "xSim optionally writes out the simulated time of the
@@ -47,13 +55,38 @@ impl CheckpointManager {
     /// cost model). Call from within a VP.
     pub async fn write(&self, ckpt: &Checkpoint) -> Result<(), FsError> {
         let name = self.file_name(ckpt.iteration, ckpt.rank);
-        fs::write(&name, ckpt.encode()).await
+        let data = ckpt.encode();
+        let nbytes = data.len() as u64;
+        let t0 = obs_clock();
+        fs::write(&name, data).await?;
+        if let Some(t0) = t0 {
+            ctx::with_kernel(|k, rank| {
+                let t1 = k.vp(rank).clock;
+                obs::record(k, ids::CKPT_WRITES, 1);
+                obs::record(k, ids::CKPT_BYTES_WRITTEN, nbytes);
+                obs::record(k, ids::CKPT_COMMIT_NS, (t1 - t0).as_nanos());
+                obs::span(
+                    k,
+                    ObsSpan {
+                        name: "ckpt.commit",
+                        cat: "ckpt",
+                        rank,
+                        start: t0,
+                        end: t1,
+                        bytes: nbytes,
+                    },
+                );
+            });
+        }
+        Ok(())
     }
 
     /// Delete this rank's file of an older generation (the post-barrier
     /// cleanup of the paper's protocol). Missing files are fine.
     pub async fn delete_generation(&self, iteration: u64, rank: u32) -> Result<bool, FsError> {
-        fs::delete(&self.file_name(iteration, rank)).await
+        let existed = fs::delete(&self.file_name(iteration, rank)).await?;
+        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_DELETES, 1));
+        Ok(existed)
     }
 
     /// Checkpoint generations present on storage, newest first. Iterates
@@ -64,8 +97,12 @@ impl CheckpointManager {
         let mut gens = Vec::new();
         let mut cursor = prefix.clone();
         while let Some(key) = store.first_key_at_or_after(&cursor) {
-            let Some(rest) = key.strip_prefix(&prefix) else { break };
-            let Some((gen_s, _)) = rest.split_once('/') else { break };
+            let Some(rest) = key.strip_prefix(&prefix) else {
+                break;
+            };
+            let Some((gen_s, _)) = rest.split_once('/') else {
+                break;
+            };
             let Ok(g) = gen_s.parse::<u64>() else { break };
             gens.push(g);
             // Skip past every file of this generation ('\u{7f}' sorts
@@ -93,15 +130,20 @@ impl CheckpointManager {
             let name = self.file_name(generation, rank);
             match fs::read(&name).await {
                 Ok(FileState::Complete(data)) => match Checkpoint::decode(&data) {
-                    Ok(c) => return Some(c),
+                    Ok(c) => {
+                        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_LOADS, 1));
+                        return Some(c);
+                    }
                     Err(_) => {
                         // Corrupted checkpoint: delete and fall back.
+                        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_CORRUPT_DISCARDED, 1));
                         let _ = fs::delete(&name).await;
                     }
                 },
                 Ok(FileState::Partial(_)) => {
                     // Exists but incomplete — also "corrupted" per the
                     // paper's definition.
+                    ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_CORRUPT_DISCARDED, 1));
                     let _ = fs::delete(&name).await;
                 }
                 Err(_) => {}
@@ -158,7 +200,10 @@ impl CheckpointManager {
 
 /// Persist the virtual exit time of an aborted run (paper §IV-E).
 pub fn write_exit_time(store: &FsStore, t: xsim_core::SimTime) {
-    store.put(EXIT_TIME_FILE, Bytes::from(t.as_nanos().to_le_bytes().to_vec()));
+    store.put(
+        EXIT_TIME_FILE,
+        Bytes::from(t.as_nanos().to_le_bytes().to_vec()),
+    );
 }
 
 /// Read back the persisted exit time, if any.

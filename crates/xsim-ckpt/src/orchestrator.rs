@@ -43,9 +43,7 @@ impl CampaignResult {
         if self.failures == 0 {
             return None;
         }
-        Some(SimTime(
-            self.finish_time.as_nanos() / (self.failures + 1),
-        ))
+        Some(SimTime(self.finish_time.as_nanos() / (self.failures + 1)))
     }
 }
 
@@ -92,9 +90,7 @@ impl Orchestrator {
             // Continuous virtual timing (paper §IV-E): initialize all
             // clocks with the previous run's persisted exit time.
             let start = read_exit_time(&store).unwrap_or(SimTime::ZERO);
-            let mut builder = make_builder()
-                .fs_store(store.clone())
-                .start_time(start);
+            let mut builder = make_builder().fs_store(store.clone()).start_time(start);
             if let Some(draw) = self.model.draw(self.seed, run_idx, n_ranks) {
                 builder = builder.inject_failure(draw.rank, start + draw.at);
             }
@@ -149,10 +145,7 @@ mod tests {
             r.application_mttf().unwrap(),
             SimTime::from_secs_f64(3978.5)
         );
-        let r0 = CampaignResult {
-            failures: 0,
-            ..r
-        };
+        let r0 = CampaignResult { failures: 0, ..r };
         assert!(r0.application_mttf().is_none());
     }
 }

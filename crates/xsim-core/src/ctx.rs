@@ -89,7 +89,11 @@ pub fn now() -> SimTime {
 /// Wakeups may be spurious (e.g. a message arrival while waiting for a
 /// different request); callers re-check their predicate and re-block.
 pub fn block(class: WaitClass, desc: &'static str) -> BlockFuture {
-    BlockFuture { armed: false, class, desc }
+    BlockFuture {
+        armed: false,
+        class,
+        desc,
+    }
 }
 
 /// Future returned by [`block`].

@@ -23,7 +23,11 @@ pub fn report(blocked: &[(Rank, SimTime, &'static str)], total_ranks: usize) -> 
         total_ranks
     );
     for (rank, clock, desc) in blocked.iter().take(MAX_LISTED) {
-        let what = if desc.is_empty() { "<unspecified>" } else { desc };
+        let what = if desc.is_empty() {
+            "<unspecified>"
+        } else {
+            desc
+        };
         let _ = writeln!(out, "  rank {rank} blocked at {clock} on {what}");
     }
     if blocked.len() > MAX_LISTED {
@@ -32,7 +36,13 @@ pub fn report(blocked: &[(Rank, SimTime, &'static str)], total_ranks: usize) -> 
     // Aggregate by wait description to expose the dominant cause.
     let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for (_, _, desc) in blocked {
-        *counts.entry(if desc.is_empty() { "<unspecified>" } else { desc }).or_default() += 1;
+        *counts
+            .entry(if desc.is_empty() {
+                "<unspecified>"
+            } else {
+                desc
+            })
+            .or_default() += 1;
     }
     let _ = writeln!(out, "blocked-by-wait summary:");
     for (desc, n) in counts {
@@ -60,9 +70,7 @@ mod tests {
 
     #[test]
     fn report_truncates_long_lists() {
-        let blocked: Vec<_> = (0..40)
-            .map(|i| (Rank(i), SimTime::ZERO, "recv"))
-            .collect();
+        let blocked: Vec<_> = (0..40).map(|i| (Rank(i), SimTime::ZERO, "recv")).collect();
         let r = report(&blocked, 64);
         assert!(r.contains("... and 24 more"));
         assert!(r.contains("40 x recv"));

@@ -21,7 +21,7 @@ pub use sequential::run_sequential;
 use crate::config::CoreConfig;
 use crate::error::{SimError, Termination};
 use crate::kernel::Kernel;
-use crate::report::{ExitKind, SimReport, VpTimingStats};
+use crate::report::{ExitKind, ShardStats, SimReport, VpTimingStats};
 use crate::time::SimTime;
 use crate::vp::VpProgram;
 use std::sync::Arc;
@@ -57,9 +57,14 @@ pub(crate) fn assemble_report(
     let mut abort_time: Option<SimTime> = None;
     let mut events_processed = 0;
     let mut context_switches = 0;
+    let mut shard_stats = Vec::with_capacity(shards.len());
 
     let mut shards = shards;
     for shard in &mut shards {
+        // Flush upper-layer state (trace buffers, metric sets) before
+        // reading results, so sinks are complete without relying on the
+        // shard's Drop order.
+        shard.run_shutdown_hooks();
         blocked.extend(shard.blocked_summary());
         for (r, clock, term) in shard.drain_results() {
             final_clocks[r] = clock;
@@ -72,6 +77,12 @@ pub(crate) fn assemble_report(
         };
         events_processed += shard.events_processed;
         context_switches += shard.context_switches;
+        shard_stats.push(ShardStats {
+            shard_id: shard.shard_id,
+            events_processed: shard.events_processed,
+            context_switches: shard.context_switches,
+            queue_depth_hwm: shard.queue_depth_hwm,
+        });
     }
 
     if !blocked.is_empty() {
@@ -106,6 +117,7 @@ pub(crate) fn assemble_report(
         abort_time,
         events_processed,
         context_switches,
+        shards: shard_stats,
         wall,
     };
     if cfg.verbose {

@@ -106,6 +106,7 @@ fn worker_loop(k: &mut Kernel, sync: &SyncState, cfg: &CoreConfig) {
                 k.queue.push(ev);
             }
         }
+        k.note_queue_depth();
 
         // Publish our lower bound and agree on the global one.
         let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());

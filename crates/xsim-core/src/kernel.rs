@@ -35,6 +35,12 @@ use std::task::{Context, Poll, Waker};
 /// broadcast the simulator-internal failure notification (paper §IV-B).
 pub type FailHook = Arc<dyn Fn(&mut Kernel, Rank, SimTime) + Send + Sync>;
 
+/// Hook invoked once per shard at engine shutdown, before the report is
+/// assembled. Upper layers register these to flush per-shard state
+/// (trace buffers, metric sets) deterministically instead of relying on
+/// `Drop` order.
+pub type ShutdownHook = Arc<dyn Fn(&mut Kernel) + Send + Sync>;
+
 /// One shard of the simulation.
 pub struct Kernel {
     /// Index of this shard.
@@ -57,6 +63,8 @@ pub struct Kernel {
     program: Arc<dyn VpProgram>,
     /// Hooks to run when a VP fails.
     fail_hooks: Vec<FailHook>,
+    /// Hooks to run at engine shutdown.
+    shutdown_hooks: Vec<ShutdownHook>,
     /// Rank currently attributed for scheduling (being polled, or dst of
     /// the event being processed).
     attrib: Option<Rank>,
@@ -70,6 +78,8 @@ pub struct Kernel {
     pub(crate) events_processed: u64,
     /// VP resumes performed by this shard.
     pub(crate) context_switches: u64,
+    /// High-water mark of this shard's pending-event queue.
+    pub(crate) queue_depth_hwm: u64,
 }
 
 impl Kernel {
@@ -96,12 +106,14 @@ impl Kernel {
             outbox: Vec::new(),
             program,
             fail_hooks: Vec::new(),
+            shutdown_hooks: Vec::new(),
             attrib: None,
             done: 0,
             failures: Vec::new(),
             abort_time: None,
             events_processed: 0,
             context_switches: 0,
+            queue_depth_hwm: 0,
         }
     }
 
@@ -157,6 +169,27 @@ impl Kernel {
     /// Register a failure hook (MPI layer notification broadcast).
     pub fn add_fail_hook(&mut self, hook: FailHook) {
         self.fail_hooks.push(hook);
+    }
+
+    /// Register a hook to run at engine shutdown (before report assembly).
+    pub fn add_shutdown_hook(&mut self, hook: ShutdownHook) {
+        self.shutdown_hooks.push(hook);
+    }
+
+    /// Run the registered shutdown hooks. Called once per shard by the
+    /// engines after the event loop drains.
+    pub(crate) fn run_shutdown_hooks(&mut self) {
+        let hooks = std::mem::take(&mut self.shutdown_hooks);
+        for h in &hooks {
+            h(self);
+        }
+    }
+
+    /// Fold the current queue depth into the high-water mark. The engines
+    /// call this after bulk ingest (cross-shard inbox drains).
+    #[inline]
+    pub(crate) fn note_queue_depth(&mut self) {
+        self.queue_depth_hwm = self.queue_depth_hwm.max(self.queue.len() as u64);
     }
 
     /// Install a service.
@@ -223,11 +256,9 @@ impl Kernel {
         };
         if self.owns(dst) {
             self.queue.push(rec);
+            self.queue_depth_hwm = self.queue_depth_hwm.max(self.queue.len() as u64);
         } else {
-            debug_assert!(
-                self.cfg.n_shards() > 1,
-                "single shard must own every rank"
-            );
+            debug_assert!(self.cfg.n_shards() > 1, "single shard must own every rank");
             let dst_shard = self.cfg.shard_of(dst.idx());
             self.outbox.push((dst_shard, rec));
         }
@@ -248,6 +279,7 @@ impl Kernel {
                 action: Action::Spawn,
             });
         }
+        self.note_queue_depth();
     }
 
     // ------------------------------------------------------------------

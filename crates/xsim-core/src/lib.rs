@@ -59,7 +59,7 @@ pub use error::SimError;
 pub use event::{Action, EventKey, EventRec};
 pub use kernel::Kernel;
 pub use rank::Rank;
-pub use report::{ExitKind, SimReport, VpTimingStats};
+pub use report::{ExitKind, ShardStats, SimReport, VpTimingStats};
 pub use rng::DetRng;
 pub use service::Service;
 pub use time::SimTime;

@@ -58,6 +58,20 @@ impl VpTimingStats {
     }
 }
 
+/// Per-shard engine counters, for attributing work and spotting load
+/// imbalance between parallel workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard_id: usize,
+    /// Events this shard processed.
+    pub events_processed: u64,
+    /// VP resumes this shard performed.
+    pub context_switches: u64,
+    /// High-water mark of this shard's pending-event queue.
+    pub queue_depth_hwm: u64,
+}
+
 /// The result of one simulation run.
 #[derive(Debug)]
 pub struct SimReport {
@@ -78,6 +92,8 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Total number of VP resumes (context switches into VPs).
     pub context_switches: u64,
+    /// Per-shard engine counters (one entry for the sequential engine).
+    pub shards: Vec<ShardStats>,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
 }
@@ -90,14 +106,48 @@ impl SimReport {
         self.timing.max
     }
 
+    /// Load imbalance across shards: the ratio of the busiest shard's
+    /// event count to the mean. 1.0 means perfectly balanced; returns 1.0
+    /// for single-shard runs or when no events were processed.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.shards.len() < 2 || self.events_processed == 0 {
+            return 1.0;
+        }
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.events_processed)
+            .max()
+            .unwrap_or(0) as f64;
+        let avg = self.events_processed as f64 / self.shards.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Largest per-shard pending-event-queue high-water mark.
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.queue_depth_hwm)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Render the shutdown summary xSim prints on the command line.
     pub fn summary(&self) -> String {
         format!(
-            "xsim: {:?} after {} events, {} context switches; \
+            "xsim: {:?} after {} events, {} context switches \
+             (queue hwm {}, {} shard(s), imbalance {:.2}); \
              process times min {} / max {} / avg {}; {} failure(s){}",
             self.exit,
             self.events_processed,
             self.context_switches,
+            self.queue_depth_hwm(),
+            self.shards.len(),
+            self.load_imbalance(),
             self.timing.min,
             self.timing.max,
             self.timing.avg,

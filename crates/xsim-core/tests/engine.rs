@@ -388,7 +388,7 @@ fn arm_wait_and_prearmed_block_round_trip() {
 }
 
 #[test]
-fn stale_wake_tokens_are_ignored(){
+fn stale_wake_tokens_are_ignored() {
     // A wake scheduled for an old wait must not disturb a newer one.
     let program = |_r: Rank| -> VpFuture {
         Box::pin(async move {

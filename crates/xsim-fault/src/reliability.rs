@@ -235,7 +235,11 @@ mod tests {
         // Expected count ≈ n_nodes * horizon/node_mttf = 4096 * 6h/588kh
         // ≈ 0.042 ... small; over a long horizon more failures appear.
         let long = sys.generate_schedule(SimTime::from_secs_f64(2000.0 * 3600.0), 42);
-        assert!(long.len() > 2, "long horizon should see failures: {}", long.len());
+        assert!(
+            long.len() > 2,
+            "long horizon should see failures: {}",
+            long.len()
+        );
         let c = sys.generate_schedule(horizon, 43);
         assert!(a != c || a.is_empty(), "different seeds should differ");
     }

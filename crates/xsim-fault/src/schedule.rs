@@ -124,7 +124,9 @@ impl FromStr for FailureSchedule {
                 .parse()
                 .map_err(|_| ParseError(format!("bad time in '{item}'")))?;
             if !secs.is_finite() || secs < 0.0 {
-                return Err(ParseError(format!("negative or non-finite time in '{item}'")));
+                return Err(ParseError(format!(
+                    "negative or non-finite time in '{item}'"
+                )));
             }
             out.push(rank, SimTime::from_secs_f64(secs));
         }

@@ -73,6 +73,7 @@ impl SoftErrorPlan {
                         if k.vp(rank).is_done() {
                             return;
                         }
+                        xsim_obs::service::record(k, xsim_obs::ids::FAULT_SOFT_FLIPS, 1);
                         k.service_mut::<SoftErrorService>()
                             .pending
                             .entry(rank)
@@ -95,12 +96,12 @@ pub struct SoftErrorService {
 /// last poll. Applications call this between compute phases and apply
 /// the flips to their own buffers.
 pub fn poll_flips() -> Vec<SoftFlip> {
-    ctx::with_kernel(|k, me| {
-        match k.service_mut::<SoftErrorService>().pending.get_mut(&me) {
+    ctx::with_kernel(
+        |k, me| match k.service_mut::<SoftErrorService>().pending.get_mut(&me) {
             Some(v) => std::mem::take(v),
             None => Vec::new(),
-        }
-    })
+        },
+    )
 }
 
 /// Apply a flip to a buffer: flips bit `selector mod (len·8)`. Returns
@@ -166,6 +167,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(byte, 0, "selector wraps modulo buffer bits");
-        assert!(apply_flip(&mut [], SoftFlip { at: SimTime::ZERO, bit_selector: 1 }).is_none());
+        assert!(apply_flip(
+            &mut [],
+            SoftFlip {
+                at: SimTime::ZERO,
+                bit_selector: 1
+            }
+        )
+        .is_none());
     }
 }

@@ -33,6 +33,8 @@ use std::fmt;
 use std::sync::Arc;
 use xsim_core::vp::WaitClass;
 use xsim_core::{ctx, Rank, SimTime};
+use xsim_obs::service as obs;
+use xsim_obs::{ids, ObsSpan};
 
 /// Errors surfaced by simulated file system operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -348,19 +350,33 @@ impl FsService {
 /// failure during the transfer leaves the file in a partial (corrupted)
 /// state.
 pub async fn write(name: &str, data: Bytes) -> Result<(), FsError> {
-    let (cost, store) = ctx::with_kernel(|k, rank| {
+    let nbytes = data.len() as u64;
+    let (cost, store, t0) = ctx::with_kernel(|k, rank| {
         let svc = k.service::<FsService>();
         let cost = svc.model.write_time(data.len());
-        svc.store.check_fault(name, IoFaultKind::Write, rank)?;
-        if cost > SimTime::ZERO {
-            svc.store.begin_write(name);
+        let store = svc.store.clone();
+        let t0 = obs::enabled(k).then(|| k.vp(rank).clock);
+        if let Err(e) = store.check_fault(name, IoFaultKind::Write, rank) {
+            obs::record(k, ids::FS_FAULTS_INJECTED, 1);
+            return Err(e);
         }
-        Ok::<_, FsError>((cost, svc.store.clone()))
+        if cost > SimTime::ZERO {
+            store.begin_write(name);
+        }
+        Ok::<_, FsError>((cost, store, t0))
     })?;
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
     }
     store.commit_write(name, data);
+    note_io(
+        t0,
+        ids::FS_WRITES,
+        ids::FS_WRITE_BYTES,
+        ids::FS_WRITE_NS,
+        "fs.write",
+        nbytes,
+    );
     Ok(())
 }
 
@@ -368,16 +384,31 @@ pub async fn write(name: &str, data: Bytes) -> Result<(), FsError> {
 /// (corrupted) files are returned as [`FileState::Partial`] so callers
 /// can implement corruption detection.
 pub async fn read(name: &str) -> Result<FileState, FsError> {
-    let (state, cost) = ctx::with_kernel(|k, rank| {
+    let (state, cost, t0) = ctx::with_kernel(|k, rank| {
         let svc = k.service::<FsService>();
-        svc.store.check_fault(name, IoFaultKind::Read, rank)?;
-        let state = svc.store.get(name).ok_or(FsError::NotFound)?;
-        let cost = svc.model.read_time(state.bytes().len());
-        Ok::<_, FsError>((state, cost))
+        let store = svc.store.clone();
+        let model = svc.model;
+        let t0 = obs::enabled(k).then(|| k.vp(rank).clock);
+        if let Err(e) = store.check_fault(name, IoFaultKind::Read, rank) {
+            obs::record(k, ids::FS_FAULTS_INJECTED, 1);
+            return Err(e);
+        }
+        let state = store.get(name).ok_or(FsError::NotFound)?;
+        let cost = model.read_time(state.bytes().len());
+        Ok::<_, FsError>((state, cost, t0))
     })?;
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
     }
+    let nbytes = state.bytes().len() as u64;
+    note_io(
+        t0,
+        ids::FS_READS,
+        ids::FS_READ_BYTES,
+        ids::FS_READ_NS,
+        "fs.read",
+        nbytes,
+    );
     Ok(state)
 }
 
@@ -386,8 +417,14 @@ pub async fn read(name: &str) -> Result<FileState, FsError> {
 pub async fn delete(name: &str) -> Result<bool, FsError> {
     let (cost, store) = ctx::with_kernel(|k, rank| {
         let svc = k.service::<FsService>();
-        svc.store.check_fault(name, IoFaultKind::Write, rank)?;
-        Ok::<_, FsError>((svc.model.meta_latency, svc.store.clone()))
+        let store = svc.store.clone();
+        let cost = svc.model.meta_latency;
+        if let Err(e) = store.check_fault(name, IoFaultKind::Write, rank) {
+            obs::record(k, ids::FS_FAULTS_INJECTED, 1);
+            return Err(e);
+        }
+        obs::record(k, ids::FS_DELETES, 1);
+        Ok::<_, FsError>((cost, store))
     })?;
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
@@ -400,18 +437,40 @@ pub async fn delete(name: &str) -> Result<bool, FsError> {
 /// (e.g. the heat application in modeled-compute mode charges the cost
 /// of its full grid checkpoint while persisting only a state token).
 pub async fn charge_write(bytes: usize) {
-    let cost = ctx::with_kernel(|k, _| k.service::<FsService>().model.write_time(bytes));
+    let (cost, t0) = ctx::with_kernel(|k, rank| {
+        let cost = k.service::<FsService>().model.write_time(bytes);
+        (cost, obs::enabled(k).then(|| k.vp(rank).clock))
+    });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
     }
+    note_io(
+        t0,
+        ids::FS_WRITES,
+        ids::FS_WRITE_BYTES,
+        ids::FS_WRITE_NS,
+        "fs.write",
+        bytes as u64,
+    );
 }
 
 /// Charge the I/O time of reading `bytes` without reading anything.
 pub async fn charge_read(bytes: usize) {
-    let cost = ctx::with_kernel(|k, _| k.service::<FsService>().model.read_time(bytes));
+    let (cost, t0) = ctx::with_kernel(|k, rank| {
+        let cost = k.service::<FsService>().model.read_time(bytes);
+        (cost, obs::enabled(k).then(|| k.vp(rank).clock))
+    });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
     }
+    note_io(
+        t0,
+        ids::FS_READS,
+        ids::FS_READ_BYTES,
+        ids::FS_READ_NS,
+        "fs.read",
+        bytes as u64,
+    );
 }
 
 /// Whether a file exists, charging metadata latency.
@@ -424,6 +483,37 @@ pub async fn exists(name: &str) -> bool {
         fs_sleep(cost).await;
     }
     store.exists(name)
+}
+
+/// Account a finished I/O operation: counters, size/latency histograms
+/// and a timeline span. `t0` is `None` when metrics are disabled, making
+/// the whole function (including the kernel access) a no-op.
+fn note_io(
+    t0: Option<SimTime>,
+    n_id: usize,
+    bytes_id: usize,
+    ns_id: usize,
+    name: &'static str,
+    nbytes: u64,
+) {
+    let Some(t0) = t0 else { return };
+    ctx::with_kernel(|k, rank| {
+        let t1 = k.vp(rank).clock;
+        obs::record(k, n_id, 1);
+        obs::record(k, bytes_id, nbytes);
+        obs::record(k, ns_id, (t1 - t0).as_nanos());
+        obs::span(
+            k,
+            ObsSpan {
+                name,
+                cat: "fs",
+                rank,
+                start: t0,
+                end: t1,
+                bytes: nbytes,
+            },
+        );
+    });
 }
 
 /// Sleep with the FileIo wait class, so failure/abort releases can

@@ -10,11 +10,13 @@ use xsim_net::NetModel;
 
 #[test]
 fn write_read_delete_charge_virtual_time() {
-    let builder = SimBuilder::new(1).net(NetModel::small(1)).fs_model(FsModel {
-        meta_latency: SimTime::from_millis(1),
-        write_bw: 1.0e6, // 1 MB/s
-        read_bw: 2.0e6,
-    });
+    let builder = SimBuilder::new(1)
+        .net(NetModel::small(1))
+        .fs_model(FsModel {
+            meta_latency: SimTime::from_millis(1),
+            write_bw: 1.0e6, // 1 MB/s
+            read_bw: 2.0e6,
+        });
     let store = builder.store();
     let report = builder
         .run_app(|mpi| async move {
@@ -103,11 +105,13 @@ fn free_model_writes_are_atomic_and_instant() {
 
 #[test]
 fn charge_write_costs_time_without_storing() {
-    let builder = SimBuilder::new(1).net(NetModel::small(1)).fs_model(FsModel {
-        meta_latency: SimTime::ZERO,
-        write_bw: 1.0e6,
-        read_bw: 1.0e6,
-    });
+    let builder = SimBuilder::new(1)
+        .net(NetModel::small(1))
+        .fs_model(FsModel {
+            meta_latency: SimTime::ZERO,
+            write_bw: 1.0e6,
+            read_bw: 1.0e6,
+        });
     let store = builder.store();
     let report = builder
         .run_app(|mpi| async move {

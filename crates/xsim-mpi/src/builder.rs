@@ -5,7 +5,9 @@
 
 use crate::error::ErrHandler;
 use crate::mpi_ctx::{mpi_program, MpiCtx};
-use crate::state::{install_failure_hook, CollAlgo, Detector, MpiService, MpiStats, MpiWorld, PowerService};
+use crate::state::{
+    install_failure_hook, CollAlgo, Detector, MpiService, MpiStats, MpiWorld, PowerService,
+};
 use crate::trace::{Trace, TraceEvent, TraceService};
 use parking_lot::Mutex;
 use std::future::Future;
@@ -14,6 +16,7 @@ use xsim_core::vp::VpProgram;
 use xsim_core::{engine, CoreConfig, Kernel, Rank, SimError, SimReport, SimTime};
 use xsim_fs::{FsModel, FsService, FsStore};
 use xsim_net::NetModel;
+use xsim_obs::{ChromeTraceWriter, ObsReport, ObsService, ObsSink};
 use xsim_proc::{PowerModel, PowerReport, ProcModel};
 
 /// A per-shard setup hook registered via [`SimBuilder::setup_hook`].
@@ -32,6 +35,9 @@ pub struct RunReport {
     pub power: Option<PowerReport>,
     /// Execution trace, when tracing was enabled.
     pub trace: Option<Trace>,
+    /// Observability data (metrics registry + subsystem spans), when
+    /// metrics were enabled.
+    pub metrics: Option<ObsReport>,
 }
 
 impl RunReport {
@@ -39,6 +45,72 @@ impl RunReport {
     /// at application exit for restart continuation (paper §IV-E).
     pub fn exit_time(&self) -> SimTime {
         self.sim.exit_time()
+    }
+
+    /// Stream the merged Chrome trace-event JSON (Perfetto-viewable):
+    /// MPI phases on each rank's lane 0, subsystem spans (file I/O,
+    /// checkpoint commits) on lane 1. Emits an empty-but-valid document
+    /// when neither tracing nor metrics were enabled.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        let mut out = ChromeTraceWriter::new(w)?;
+        if let Some(trace) = &self.trace {
+            for e in &trace.events {
+                let name = e.kind.to_string();
+                let mut args: Vec<(&str, u64)> = Vec::with_capacity(2);
+                if e.bytes != 0 {
+                    args.push(("bytes", e.bytes));
+                }
+                if let Some(p) = e.peer {
+                    args.push(("peer", p.0 as u64));
+                }
+                out.complete(
+                    &name,
+                    "mpi",
+                    e.rank.0,
+                    0,
+                    e.start.as_nanos(),
+                    e.end.as_nanos(),
+                    &args,
+                )?;
+            }
+        }
+        if let Some(obs) = &self.metrics {
+            for s in &obs.spans {
+                out.span(s)?;
+            }
+        }
+        out.finish()?;
+        Ok(())
+    }
+
+    /// The merged Chrome trace as an in-memory JSON string; `None` when
+    /// neither tracing nor metrics were enabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return None;
+        }
+        let mut buf = Vec::new();
+        self.write_chrome_trace(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        Some(String::from_utf8(buf).expect("trace JSON is UTF-8"))
+    }
+
+    /// The machine-readable metrics snapshot (includes the engine
+    /// section); `None` when metrics were not enabled.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics.as_ref().map(|m| m.to_json(Some(&self.sim)))
+    }
+
+    /// One-line human summary: the engine summary plus headline MPI
+    /// counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}; mpi: {} sends / {} collectives / {} bytes",
+            self.sim.summary(),
+            self.mpi.sends,
+            self.mpi.collectives,
+            self.mpi.bytes_sent
+        )
     }
 }
 
@@ -62,6 +134,7 @@ pub struct SimBuilder {
     coll_algo: CollAlgo,
     power: Option<PowerModel>,
     trace: bool,
+    metrics: bool,
     setup_hooks: Vec<SetupHook>,
 }
 
@@ -89,6 +162,7 @@ impl SimBuilder {
             coll_algo: CollAlgo::Linear,
             power: None,
             trace: false,
+            metrics: false,
             setup_hooks: Vec::new(),
         }
     }
@@ -224,6 +298,15 @@ impl SimBuilder {
         self
     }
 
+    /// Collect subsystem metrics (network, file system, checkpoint,
+    /// fault counters and histograms) and subsystem spans; retrieve them
+    /// from `RunReport::metrics`. Off by default: with metrics disabled
+    /// no registry exists and every instrumentation site is a no-op.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Register an extra per-shard setup hook, run after the standard
     /// services are installed. Extension layers (e.g. the soft-error
     /// injector in xsim-fault) use this to attach their own services and
@@ -244,9 +327,7 @@ impl SimBuilder {
 
     /// Run an arbitrary [`VpProgram`].
     pub fn run(self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
-        self.net
-            .validate(self.n_ranks)
-            .map_err(SimError::Config)?;
+        self.net.validate(self.n_ranks).map_err(SimError::Config)?;
         let lookahead = self.net.min_latency();
         let notify_delay = self.notify_delay.unwrap_or(lookahead).max(lookahead);
         let start_time = self.start_time;
@@ -281,15 +362,22 @@ impl SimBuilder {
         let busy_sink: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
         let trace_enabled = self.trace;
         let trace_sink: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let metrics_enabled = self.metrics;
+        let obs_sink: Arc<Mutex<ObsSink>> = Arc::new(Mutex::new(ObsSink::default()));
 
         let setup = {
             let world = world.clone();
             let stats_sink = stats_sink.clone();
             let busy_sink = busy_sink.clone();
             let trace_sink = trace_sink.clone();
+            let obs_sink = obs_sink.clone();
             move |k: &mut Kernel| {
                 let owned = k.owned_ranks();
-                k.install_service(MpiService::new(world.clone(), owned.clone(), stats_sink.clone()));
+                k.install_service(MpiService::new(
+                    world.clone(),
+                    owned.clone(),
+                    stats_sink.clone(),
+                ));
                 k.install_service(FsService::new(fs_store.clone(), fs_model));
                 if power_model.is_some() {
                     k.install_service(PowerService::new(world.n_ranks, busy_sink.clone()));
@@ -297,6 +385,19 @@ impl SimBuilder {
                 if trace_enabled {
                     k.install_service(TraceService::new(trace_sink.clone()));
                 }
+                if metrics_enabled {
+                    k.install_service(ObsService::new(obs_sink.clone()));
+                }
+                // Flush trace/metric buffers deterministically at engine
+                // shutdown instead of relying on service Drop order.
+                k.add_shutdown_hook(Arc::new(|k: &mut Kernel| {
+                    if let Some(tr) = k.try_service_mut::<TraceService>() {
+                        tr.flush();
+                    }
+                    if let Some(obs) = k.try_service_mut::<ObsService>() {
+                        obs.flush();
+                    }
+                }));
                 install_failure_hook(k);
                 for (rank, at) in &failures {
                     if owned.contains(&rank.idx()) {
@@ -325,13 +426,34 @@ impl SimBuilder {
                 mpi.bytes_sent,
             )
         });
-        let trace = trace_enabled
-            .then(|| Trace::assemble(std::mem::take(&mut trace_sink.lock())));
+        let metrics = metrics_enabled.then(|| ObsReport::assemble(&obs_sink));
+        let trace = trace_enabled.then(|| {
+            let mut events: Vec<TraceEvent> = std::mem::take(&mut trace_sink.lock());
+            // Surface file-system spans as FileIo phases so the MPI
+            // trace covers I/O even though xsim-fs sits below this layer.
+            if let Some(obs) = &metrics {
+                events.extend(
+                    obs.spans
+                        .iter()
+                        .filter(|s| s.cat == "fs")
+                        .map(|s| TraceEvent {
+                            rank: s.rank,
+                            kind: crate::trace::PhaseKind::FileIo,
+                            start: s.start,
+                            end: s.end,
+                            peer: None,
+                            bytes: s.bytes,
+                        }),
+                );
+            }
+            Trace::assemble(events)
+        });
         Ok(RunReport {
             sim,
             mpi,
             power,
             trace,
+            metrics,
         })
     }
 }

@@ -113,7 +113,11 @@ pub async fn bcast(comm: CommId, root: usize, data: Bytes) -> Result<Bytes, MpiE
 
 /// Linear gather to `root`: returns `Some(parts)` (in communicator rank
 /// order) at the root, `None` elsewhere.
-pub async fn gather(comm: CommId, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, MpiError> {
+pub async fn gather(
+    comm: CommId,
+    root: usize,
+    data: Bytes,
+) -> Result<Option<Vec<Bytes>>, MpiError> {
     let (me, size, tag) = coll_begin(comm)?;
     if me == root {
         let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
@@ -221,8 +225,8 @@ pub async fn reduce_f64(
                 continue;
             }
             let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
-            let other = bytes_to_f64(&msg.data)
-                .ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            let other =
+                bytes_to_f64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
             if other.len() != acc.len() {
                 return Err(MpiError::Invalid("reduce payload length mismatch"));
             }
@@ -263,8 +267,8 @@ pub async fn reduce_u64(
                 continue;
             }
             let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
-            let other = bytes_to_u64(&msg.data)
-                .ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            let other =
+                bytes_to_u64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
             if other.len() != acc.len() {
                 return Err(MpiError::Invalid("reduce payload length mismatch"));
             }

@@ -76,7 +76,11 @@ impl CommTable {
     /// A table containing `MPI_COMM_WORLD` over `n` ranks with this
     /// process at world rank `me`.
     pub fn new_world(n: usize, me: Rank, default_handler: ErrHandler) -> Self {
-        Self::new_world_shared(Arc::new((0..n).map(Rank::new).collect()), me, default_handler)
+        Self::new_world_shared(
+            Arc::new((0..n).map(Rank::new).collect()),
+            me,
+            default_handler,
+        )
     }
 
     /// Like [`new_world`](Self::new_world) but with a shared member

@@ -45,7 +45,10 @@ impl fmt::Display for MpiError {
                 rank,
                 time_of_failure,
             } => {
-                write!(f, "MPI_ERR_PROC_FAILED: rank {rank} failed at {time_of_failure}")
+                write!(
+                    f,
+                    "MPI_ERR_PROC_FAILED: rank {rank} failed at {time_of_failure}"
+                )
             }
             MpiError::Aborted { time } => write!(f, "MPI job aborted at {time}"),
             MpiError::Revoked => write!(f, "MPI_ERR_REVOKED: communicator revoked"),
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn fatality() {
-        assert!(MpiError::Aborted { time: SimTime::ZERO }.is_fatal());
+        assert!(MpiError::Aborted {
+            time: SimTime::ZERO
+        }
+        .is_fatal());
         assert!(!MpiError::ProcFailed {
             rank: Rank(1),
             time_of_failure: SimTime::ZERO

@@ -53,7 +53,7 @@ impl MpiCtx {
     }
 
     #[inline]
-    fn rec(&self, kind: trace::PhaseKind, t0: Option<SimTime>, peer: u32, bytes: u64) {
+    fn rec(&self, kind: trace::PhaseKind, t0: Option<SimTime>, peer: Option<Rank>, bytes: u64) {
         if let Some(start) = t0 {
             trace::record(kind, start, ctx::now(), peer, bytes);
         }
@@ -109,7 +109,7 @@ impl MpiCtx {
         if d > SimTime::ZERO {
             ctx::sleep(d).await;
         }
-        self.rec(trace::PhaseKind::Compute, t0, u32::MAX, 0);
+        self.rec(trace::PhaseKind::Compute, t0, None, 0);
     }
 
     /// Advance virtual time without modeling work (testing/debug).
@@ -151,11 +151,17 @@ impl MpiCtx {
     // ------------------------------------------------------------------
 
     /// Blocking send (`MPI_Send`).
-    pub async fn send(&self, comm: Comm, dst: usize, tag: u32, data: Bytes) -> Result<(), MpiError> {
+    pub async fn send(
+        &self,
+        comm: Comm,
+        dst: usize,
+        tag: u32,
+        data: Bytes,
+    ) -> Result<(), MpiError> {
         let t0 = self.t0();
         let bytes = data.len() as u64;
         let r = p2p::send_raw(comm.id, dst, tag, data).await;
-        self.rec(trace::PhaseKind::Send, t0, dst as u32, bytes);
+        self.rec(trace::PhaseKind::Send, t0, Some(Rank(dst as u32)), bytes);
         self.apply(comm, r)
     }
 
@@ -169,8 +175,8 @@ impl MpiCtx {
         let t0 = self.t0();
         let r = p2p::recv_raw(comm.id, src, tag).await;
         let (peer, bytes) = match &r {
-            Ok(out) => (out.src.0, out.data.len() as u64),
-            Err(_) => (src.map_or(u32::MAX, |s| s as u32), 0),
+            Ok(out) => (Some(out.src), out.data.len() as u64),
+            Err(_) => (src.map(|s| Rank(s as u32)), 0),
         };
         self.rec(trace::PhaseKind::Recv, t0, peer, bytes);
         self.apply(comm, r)
@@ -203,7 +209,7 @@ impl MpiCtx {
     pub async fn wait(&self, comm: Comm, req: ReqId) -> Result<Option<RecvOut>, MpiError> {
         let t0 = self.t0();
         let r = p2p::wait_raw(req).await;
-        self.rec(trace::PhaseKind::Wait, t0, u32::MAX, 0);
+        self.rec(trace::PhaseKind::Wait, t0, None, 0);
         self.apply(comm, r)
     }
 
@@ -215,7 +221,7 @@ impl MpiCtx {
     ) -> Result<Vec<Option<RecvOut>>, MpiError> {
         let t0 = self.t0();
         let r = p2p::waitall_raw(reqs).await;
-        self.rec(trace::PhaseKind::Wait, t0, u32::MAX, 0);
+        self.rec(trace::PhaseKind::Wait, t0, None, 0);
         self.apply(comm, r)
     }
 
@@ -243,7 +249,7 @@ impl MpiCtx {
         let t0 = self.t0();
         let bytes = data.len() as u64;
         let r = p2p::sendrecv_raw(comm.id, dst, send_tag, data, src, recv_tag).await;
-        self.rec(trace::PhaseKind::Send, t0, dst as u32, bytes);
+        self.rec(trace::PhaseKind::Send, t0, Some(Rank(dst as u32)), bytes);
         self.apply(comm, r)
     }
 
@@ -295,7 +301,7 @@ impl MpiCtx {
             crate::state::CollAlgo::Linear => collective::barrier(comm.id).await,
             crate::state::CollAlgo::Tree => collective::barrier_tree(comm.id).await,
         };
-        self.rec(trace::PhaseKind::Collective, t0, u32::MAX, 0);
+        self.rec(trace::PhaseKind::Collective, t0, None, 0);
         self.apply(comm, r)
     }
 
@@ -307,7 +313,12 @@ impl MpiCtx {
             crate::state::CollAlgo::Linear => collective::bcast(comm.id, root, data).await,
             crate::state::CollAlgo::Tree => collective::bcast_tree(comm.id, root, data).await,
         };
-        self.rec(trace::PhaseKind::Collective, t0, root as u32, bytes);
+        self.rec(
+            trace::PhaseKind::Collective,
+            t0,
+            Some(Rank(root as u32)),
+            bytes,
+        );
         self.apply(comm, r)
     }
 
@@ -366,7 +377,12 @@ impl MpiCtx {
     ) -> Result<Vec<f64>, MpiError> {
         let t0 = self.t0();
         let r = collective::allreduce_f64(comm.id, data, op).await;
-        self.rec(trace::PhaseKind::Collective, t0, u32::MAX, (data.len() * 8) as u64);
+        self.rec(
+            trace::PhaseKind::Collective,
+            t0,
+            None,
+            (data.len() * 8) as u64,
+        );
         self.apply(comm, r)
     }
 

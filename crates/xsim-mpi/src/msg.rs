@@ -202,10 +202,7 @@ impl MatchQueues {
         let best_bucket: Option<(CommId, Rank, u32)> = match (recv.src, recv.tag) {
             (SrcSel::Of(s), TagSel::Of(t)) => {
                 let k = (recv.comm, s, t);
-                self.unexpected
-                    .get(&k)
-                    .filter(|q| !q.is_empty())
-                    .map(|_| k)
+                self.unexpected.get(&k).filter(|q| !q.is_empty()).map(|_| k)
             }
             _ => {
                 // Wildcard: scan buckets of this communicator, pick the
@@ -258,9 +255,11 @@ impl MatchQueues {
                         .entry((recv.comm, s))
                         .or_default()
                         .push_back(req),
-                    (SrcSel::Any, TagSel::Any) => {
-                        self.idx_any_any.entry(recv.comm).or_default().push_back(req)
-                    }
+                    (SrcSel::Any, TagSel::Any) => self
+                        .idx_any_any
+                        .entry(recv.comm)
+                        .or_default()
+                        .push_back(req),
                 }
                 self.posted.insert(req, recv);
                 None
@@ -423,7 +422,9 @@ mod tests {
     fn tag_and_comm_must_fit() {
         let mut q = MatchQueues::default();
         q.deliver(env(1, 7, 0, 10));
-        assert!(q.post(recv(0, SrcSel::Of(Rank(1)), TagSel::Of(8))).is_none());
+        assert!(q
+            .post(recv(0, SrcSel::Of(Rank(1)), TagSel::Of(8)))
+            .is_none());
         assert_eq!(q.posted_len(), 1);
         assert!(q.deliver(env(1, 9, 1, 12)).is_none());
         let (r, _) = q.deliver(env(1, 8, 2, 13)).unwrap();
@@ -497,10 +498,14 @@ mod tests {
         let (src, tag, len) = q.peek(CommId(0), SrcSel::Any, TagSel::Any).unwrap();
         assert_eq!((src, tag, len), (Rank(2), 7, 0), "earliest delivery");
         assert_eq!(
-            q.peek(CommId(0), SrcSel::Of(Rank(1)), TagSel::Any).unwrap().1,
+            q.peek(CommId(0), SrcSel::Of(Rank(1)), TagSel::Any)
+                .unwrap()
+                .1,
             9
         );
-        assert!(q.peek(CommId(0), SrcSel::Of(Rank(3)), TagSel::Any).is_none());
+        assert!(q
+            .peek(CommId(0), SrcSel::Of(Rank(3)), TagSel::Any)
+            .is_none());
         assert_eq!(q.unexpected_len(), 2, "peek must not consume");
     }
 

@@ -24,6 +24,9 @@ use bytes::Bytes;
 use xsim_core::event::Action;
 use xsim_core::vp::WaitClass;
 use xsim_core::{ctx, Kernel, Rank, SimTime};
+use xsim_net::NetClass;
+use xsim_obs::ids;
+use xsim_obs::service as obs;
 
 /// Run `f` with the MPI service temporarily detached from the kernel, so
 /// both can be borrowed mutably. Standard pattern for upper-layer code
@@ -62,12 +65,7 @@ pub(crate) fn entry_checks(rm: &RankMpi, comm: CommId) -> Result<(), MpiError> {
 
 /// Post a nonblocking send of `data` to communicator rank `dst` with
 /// `tag`. Charges the sender-side software overhead.
-pub async fn isend_raw(
-    comm: CommId,
-    dst: usize,
-    tag: u32,
-    data: Bytes,
-) -> Result<ReqId, MpiError> {
+pub async fn isend_raw(comm: CommId, dst: usize, tag: u32, data: Bytes) -> Result<ReqId, MpiError> {
     isend_ex(comm, dst, tag, data, false).await
 }
 
@@ -93,6 +91,26 @@ pub(crate) async fn isend_ex(
             let timing = svc.world.net.p2p(me, dst_world, data.len());
             let send_overhead = svc.world.net.send_overhead;
             let world = svc.world.clone();
+
+            if obs::enabled(k) {
+                let nbytes = data.len() as u64;
+                obs::record(
+                    k,
+                    if timing.eager {
+                        ids::NET_MSGS_EAGER
+                    } else {
+                        ids::NET_MSGS_RENDEZVOUS
+                    },
+                    1,
+                );
+                let class_id = match timing.class {
+                    NetClass::OnChip => ids::NET_BYTES_ONCHIP,
+                    NetClass::OnNode => ids::NET_BYTES_ONNODE,
+                    NetClass::System => ids::NET_BYTES_SYSTEM,
+                };
+                obs::record(k, class_id, nbytes);
+                obs::record(k, ids::NET_MSG_BYTES, nbytes);
+            }
 
             let rm = svc.rank_mut(me);
             rm.stats.sends += 1;
@@ -230,7 +248,11 @@ fn deliver(k: &mut Kernel, dst: Rank, env: Envelope) {
             // exactly this arrival. Wake after the service is back in
             // place (the resumed VP reaches for it); waiters on other
             // requests treat the wake as spurious and re-block.
-            None => Some(t_match),
+            None => {
+                let hwm = svc.rank(dst).queues.unexpected_len() as u64;
+                obs::record(k, ids::MPI_UNEXPECTED_HWM, hwm);
+                Some(t_match)
+            }
         }
     });
     if let Some(t) = queued_at {

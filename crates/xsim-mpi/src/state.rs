@@ -178,7 +178,8 @@ impl RankMpi {
         self.completion_feed.push(id);
         if self.completion_feed.len() > 2 * self.reqs.len() + 64 {
             let reqs = &self.reqs;
-            self.completion_feed.retain(|i| reqs.get(crate::request::ReqId(*i)).is_some());
+            self.completion_feed
+                .retain(|i| reqs.get(crate::request::ReqId(*i)).is_some());
         }
     }
 
@@ -268,12 +269,16 @@ impl MpiService {
 
     /// The MPI state of an owned rank.
     pub fn rank(&self, r: Rank) -> &RankMpi {
-        self.ranks[r.idx()].as_ref().expect("rank not on this shard")
+        self.ranks[r.idx()]
+            .as_ref()
+            .expect("rank not on this shard")
     }
 
     /// The MPI state of an owned rank, mutably.
     pub fn rank_mut(&mut self, r: Rank) -> &mut RankMpi {
-        self.ranks[r.idx()].as_mut().expect("rank not on this shard")
+        self.ranks[r.idx()]
+            .as_mut()
+            .expect("rank not on this shard")
     }
 
     /// Ranks owned by this shard.
@@ -308,6 +313,7 @@ pub fn install_failure_hook(k: &mut Kernel) {
         if verbose {
             eprintln!("xsim-mpi: broadcasting failure of rank {dead} (tof {tof})");
         }
+        xsim_obs::service::record(k, xsim_obs::ids::FAULT_ACTIVATIONS, 1);
         for r in 0..n {
             let target = Rank::new(r);
             if target == dead {
@@ -389,6 +395,9 @@ pub fn schedule_request_failure(
                 done
             };
             if completed {
+                // A detector timeout fired and surfaced the failure to
+                // this rank as MPI_ERR_PROC_FAILED.
+                xsim_obs::service::record(k, xsim_obs::ids::NET_TIMEOUT_DETECTIONS, 1);
                 k.wake_if_message_blocked(me, at);
             }
         })),

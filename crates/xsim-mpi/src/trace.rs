@@ -10,6 +10,7 @@
 
 use parking_lot::Mutex;
 use std::fmt;
+use std::io;
 use std::sync::Arc;
 use xsim_core::{Rank, SimTime};
 
@@ -55,8 +56,9 @@ pub struct TraceEvent {
     pub start: SimTime,
     /// Virtual end time.
     pub end: SimTime,
-    /// Peer world rank for p2p events (u32::MAX = none/wildcard).
-    pub peer: u32,
+    /// Peer world rank for p2p events (`None` = no single peer:
+    /// compute phases, waits, wildcard receives, collectives).
+    pub peer: Option<Rank>,
     /// Payload bytes for p2p events.
     pub bytes: u64,
 }
@@ -88,17 +90,32 @@ impl TraceService {
     pub fn record(&mut self, ev: TraceEvent) {
         self.events.push(ev);
     }
+
+    /// Flush buffered events into the shared sink. Called explicitly by
+    /// the engine-shutdown hook; idempotent (the buffer drains), with
+    /// `Drop` as a backstop.
+    pub fn flush(&mut self) {
+        if !self.events.is_empty() {
+            self.sink.lock().append(&mut self.events);
+        }
+    }
 }
 
 impl Drop for TraceService {
     fn drop(&mut self) {
-        self.sink.lock().append(&mut self.events);
+        self.flush();
     }
 }
 
 /// Record a phase on the current VP if tracing is enabled. Called by the
 /// MpiCtx wrappers with the interval they just completed.
-pub(crate) fn record(kind: PhaseKind, start: SimTime, end: SimTime, peer: u32, bytes: u64) {
+pub(crate) fn record(
+    kind: PhaseKind,
+    start: SimTime,
+    end: SimTime,
+    peer: Option<Rank>,
+    bytes: u64,
+) {
     xsim_core::ctx::with_kernel(|k, me| {
         if let Some(tr) = k.try_service_mut::<TraceService>() {
             tr.record(TraceEvent {
@@ -174,24 +191,43 @@ impl Trace {
         }
     }
 
-    /// Render as CSV (`rank,kind,start_ns,end_ns,peer,bytes`), suitable
-    /// for external timeline viewers.
-    pub fn to_csv(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::from("rank,kind,start_ns,end_ns,peer,bytes\n");
+    /// Stream as CSV (`rank,kind,start_ns,end_ns,peer,bytes`), suitable
+    /// for external timeline viewers. `peer` is empty when the event has
+    /// no single peer. Streaming keeps million-event traces off the heap.
+    pub fn write_csv<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"rank,kind,start_ns,end_ns,peer,bytes\n")?;
         for e in &self.events {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{}",
-                e.rank,
-                e.kind,
-                e.start.as_nanos(),
-                e.end.as_nanos(),
-                if e.peer == u32::MAX { -1 } else { e.peer as i64 },
-                e.bytes
-            );
+            match e.peer {
+                Some(p) => writeln!(
+                    w,
+                    "{},{},{},{},{},{}",
+                    e.rank,
+                    e.kind,
+                    e.start.as_nanos(),
+                    e.end.as_nanos(),
+                    p,
+                    e.bytes
+                )?,
+                None => writeln!(
+                    w,
+                    "{},{},{},{},,{}",
+                    e.rank,
+                    e.kind,
+                    e.start.as_nanos(),
+                    e.end.as_nanos(),
+                    e.bytes
+                )?,
+            }
         }
-        out
+        Ok(())
+    }
+
+    /// Render as CSV in memory (see [`Trace::write_csv`]).
+    pub fn to_csv(&self) -> String {
+        let mut buf = Vec::with_capacity(64 + self.events.len() * 32);
+        self.write_csv(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("CSV is UTF-8")
     }
 }
 
@@ -205,7 +241,7 @@ mod tests {
             kind,
             start: SimTime(s),
             end: SimTime(e),
-            peer: u32::MAX,
+            peer: None,
             bytes: 0,
         }
     }
@@ -242,11 +278,38 @@ mod tests {
 
     #[test]
     fn csv_shape() {
-        let t = Trace::assemble(vec![ev(3, PhaseKind::Wait, 5, 9)]);
+        let mut with_peer = ev(3, PhaseKind::Send, 2, 5);
+        with_peer.peer = Some(Rank(7));
+        with_peer.bytes = 64;
+        let t = Trace::assemble(vec![ev(3, PhaseKind::Wait, 5, 9), with_peer]);
         let csv = t.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "rank,kind,start_ns,end_ns,peer,bytes");
-        assert_eq!(lines.next().unwrap(), "3,wait,5,9,-1,0");
+        assert_eq!(
+            lines.next().unwrap(),
+            "rank,kind,start_ns,end_ns,peer,bytes"
+        );
+        assert_eq!(lines.next().unwrap(), "3,send,2,5,7,64");
+        assert_eq!(lines.next().unwrap(), "3,wait,5,9,,0");
+    }
+
+    #[test]
+    fn streaming_csv_matches_in_memory() {
+        let t = Trace::assemble(vec![ev(0, PhaseKind::Compute, 0, 5)]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), t.to_csv());
+    }
+
+    #[test]
+    fn flush_is_explicit_and_idempotent() {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let mut svc = TraceService::new(sink.clone());
+        svc.record(ev(0, PhaseKind::Compute, 0, 5));
+        svc.flush();
+        assert_eq!(sink.lock().len(), 1);
+        svc.flush();
+        drop(svc); // Drop backstop must not duplicate
+        assert_eq!(sink.lock().len(), 1);
     }
 
     #[test]

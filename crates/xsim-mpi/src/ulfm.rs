@@ -120,11 +120,7 @@ pub fn failure_get_acked() -> Vec<Rank> {
 pub fn known_failures() -> Vec<(Rank, SimTime)> {
     ctx::with_kernel(|k, me| {
         let svc = k.service::<MpiService>();
-        svc.rank(me)
-            .failed
-            .iter()
-            .map(|(r, t)| (*r, *t))
-            .collect()
+        svc.rank(me).failed.iter().map(|(r, t)| (*r, *t)).collect()
     })
 }
 

@@ -102,7 +102,11 @@ fn custom_errhandler_is_invoked_then_error_returned() {
         })
         .unwrap();
     assert_eq!(report.sim.exit, ExitKind::FailedOnly);
-    assert_eq!(calls.load(Ordering::Relaxed), 1, "handler called exactly once");
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        1,
+        "handler called exactly once"
+    );
 }
 
 #[test]

@@ -113,20 +113,22 @@ fn collectives_agree() {
             let got = mpi.bcast(w, 2, data).await?;
             assert_eq!(&got[..], b"from-two");
             // Allreduce sum of rank.
-            let s = mpi.allreduce_f64(w, &[mpi.rank as f64], ReduceOp::Sum).await?;
+            let s = mpi
+                .allreduce_f64(w, &[mpi.rank as f64], ReduceOp::Sum)
+                .await?;
             assert_eq!(s, vec![28.0]); // 0+..+7
             let mx = mpi
                 .allreduce_u64(w, &[mpi.rank as u64, 7 - mpi.rank as u64], ReduceOp::Max)
                 .await?;
             assert_eq!(mx, vec![7, 7]);
             // Gather/scatter round trip.
-            let parts = mpi
-                .gather(w, 0, Bytes::from(vec![mpi.rank as u8]))
-                .await?;
+            let parts = mpi.gather(w, 0, Bytes::from(vec![mpi.rank as u8])).await?;
             let scattered = mpi.scatter(w, 0, parts).await?;
             assert_eq!(scattered[0], mpi.rank as u8);
             // Allgather.
-            let all = mpi.allgather(w, Bytes::from(vec![mpi.rank as u8 * 3])).await?;
+            let all = mpi
+                .allgather(w, Bytes::from(vec![mpi.rank as u8 * 3]))
+                .await?;
             let vals: Vec<u8> = all.iter().map(|b| b[0]).collect();
             assert_eq!(vals, (0..8).map(|r| r * 3).collect::<Vec<u8>>());
             // Alltoall: rank r sends r*10+j to rank j.
@@ -380,8 +382,14 @@ fn comm_split_partitions_and_communicates() {
             assert_eq!(sub_size, 3);
             assert_eq!(sub_rank, mpi.rank / 2);
             // Sum of world ranks within each sub-communicator.
-            let s = mpi.allreduce_f64(sub, &[mpi.rank as f64], ReduceOp::Sum).await?;
-            let expect = if color == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            let s = mpi
+                .allreduce_f64(sub, &[mpi.rank as f64], ReduceOp::Sum)
+                .await?;
+            let expect = if color == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
             assert_eq!(s, vec![expect]);
             mpi.finalize();
             Ok(())
@@ -443,9 +451,7 @@ fn ulfm_revoke_shrink_continue() {
             let new_comm = mpi.comm_shrink(w).await?;
             let size = mpi.comm_size(new_comm)?;
             assert_eq!(size, 3);
-            let s = mpi
-                .allreduce_f64(new_comm, &[1.0], ReduceOp::Sum)
-                .await?;
+            let s = mpi.allreduce_f64(new_comm, &[1.0], ReduceOp::Sum).await?;
             assert_eq!(s, vec![3.0]);
             mpi.finalize();
             Ok(())
@@ -470,7 +476,9 @@ fn deterministic_across_engines_and_repeats() {
                     mpi.sleep(SimTime::from_millis(10)).await;
                     let right = (mpi.rank + 1) % mpi.size;
                     let left = (mpi.rank + mpi.size - 1) % mpi.size;
-                    let sreq = mpi.isend(w, right, it, Bytes::from(vec![mpi.rank as u8])).await;
+                    let sreq = mpi
+                        .isend(w, right, it, Bytes::from(vec![mpi.rank as u8]))
+                        .await;
                     let rreq = mpi.irecv(w, Some(left), Some(it));
                     match (sreq, rreq) {
                         (Ok(s), Ok(r)) => {

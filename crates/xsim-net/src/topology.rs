@@ -83,9 +83,7 @@ impl Topology {
     pub fn nodes(&self) -> usize {
         match *self {
             Topology::FullyConnected { nodes } | Topology::Star { nodes } => nodes,
-            Topology::Mesh3d { dims } | Topology::Torus3d { dims } => {
-                dims[0] * dims[1] * dims[2]
-            }
+            Topology::Mesh3d { dims } | Topology::Torus3d { dims } => dims[0] * dims[1] * dims[2],
             Topology::Hypercube { dim } => 1usize << dim,
             Topology::FatTree {
                 leaves,

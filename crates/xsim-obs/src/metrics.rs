@@ -1,0 +1,541 @@
+//! The metrics registry: a fixed schema of counters, gauges and
+//! fixed-bucket histograms with `const`-index handles.
+//!
+//! The schema is deliberately static. Dynamic registration would force
+//! either hashing or locking onto the record path; a static table keeps
+//! `MetricSet::add` an array index and an integer add, which is what
+//! lets the simulator keep its instrumentation on even at million-VP
+//! scale.
+
+use std::fmt::Write as _;
+
+/// What a metric's value is measured in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Plain event count.
+    Count,
+    /// Bytes.
+    Bytes,
+    /// Virtual nanoseconds.
+    Nanos,
+}
+
+impl Unit {
+    /// Snapshot-schema name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Nanos => "nanos",
+        }
+    }
+}
+
+/// The shape of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter; `add` accumulates, shards merge by summing.
+    Counter,
+    /// High-water-mark gauge; `add` and merges keep the maximum.
+    Gauge,
+    /// Fixed-bucket histogram; `add` observes one sample.
+    Histogram,
+}
+
+/// One entry of the metric schema.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Dotted snapshot name, `<subsystem>.<metric>`.
+    pub name: &'static str,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Value unit.
+    pub unit: Unit,
+    /// Upper bucket bounds (inclusive) for histograms; one overflow
+    /// bucket is added implicitly. Empty for counters/gauges.
+    pub buckets: &'static [u64],
+}
+
+/// Size buckets (bytes): powers of four from 64 B to 16 MiB.
+pub const SIZE_BUCKETS: &[u64] = &[
+    64,
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+];
+
+/// Latency buckets (virtual ns): decades from 1 µs to 100 s.
+pub const LATENCY_BUCKETS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
+
+/// `const` handles into [`SPEC`]. Instrumentation sites use these so the
+/// record path is an array index.
+pub mod ids {
+    /// Eager-protocol messages injected.
+    pub const NET_MSGS_EAGER: usize = 0;
+    /// Rendezvous-protocol messages injected.
+    pub const NET_MSGS_RENDEZVOUS: usize = 1;
+    /// Payload bytes over on-chip links.
+    pub const NET_BYTES_ONCHIP: usize = 2;
+    /// Payload bytes over on-node links.
+    pub const NET_BYTES_ONNODE: usize = 3;
+    /// Payload bytes over the system interconnect.
+    pub const NET_BYTES_SYSTEM: usize = 4;
+    /// Requests completed with `MPI_ERR_PROC_FAILED` by the
+    /// timeout/monitor failure detector.
+    pub const NET_TIMEOUT_DETECTIONS: usize = 5;
+    /// Message payload size distribution.
+    pub const NET_MSG_BYTES: usize = 6;
+    /// High-water mark of any rank's unexpected-message queue.
+    pub const MPI_UNEXPECTED_HWM: usize = 7;
+    /// File system write operations.
+    pub const FS_WRITES: usize = 8;
+    /// File system read operations.
+    pub const FS_READS: usize = 9;
+    /// File system delete operations.
+    pub const FS_DELETES: usize = 10;
+    /// Injected I/O faults that fired.
+    pub const FS_FAULTS_INJECTED: usize = 11;
+    /// Write size distribution.
+    pub const FS_WRITE_BYTES: usize = 12;
+    /// Read size distribution.
+    pub const FS_READ_BYTES: usize = 13;
+    /// Write latency distribution (virtual ns).
+    pub const FS_WRITE_NS: usize = 14;
+    /// Read latency distribution (virtual ns).
+    pub const FS_READ_NS: usize = 15;
+    /// Checkpoints written.
+    pub const CKPT_WRITES: usize = 16;
+    /// Checkpoint bytes written.
+    pub const CKPT_BYTES_WRITTEN: usize = 17;
+    /// Checkpoint commit latency distribution (virtual ns).
+    pub const CKPT_COMMIT_NS: usize = 18;
+    /// Checkpoints successfully loaded on restart.
+    pub const CKPT_LOADS: usize = 19;
+    /// Corrupted/partial checkpoints discarded during load.
+    pub const CKPT_CORRUPT_DISCARDED: usize = 20;
+    /// Old checkpoint generations deleted (post-barrier cleanup).
+    pub const CKPT_DELETES: usize = 21;
+    /// Process-failure notifications broadcast (fault activations seen
+    /// by the MPI layer).
+    pub const FAULT_ACTIVATIONS: usize = 22;
+    /// Soft-error bit flips delivered to applications.
+    pub const FAULT_SOFT_FLIPS: usize = 23;
+}
+
+/// The metric schema, indexed by [`ids`].
+pub const SPEC: &[MetricDef] = &[
+    MetricDef {
+        name: "net.msgs_eager",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.msgs_rendezvous",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.bytes_onchip",
+        kind: MetricKind::Counter,
+        unit: Unit::Bytes,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.bytes_onnode",
+        kind: MetricKind::Counter,
+        unit: Unit::Bytes,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.bytes_system",
+        kind: MetricKind::Counter,
+        unit: Unit::Bytes,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.timeout_detections",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.msg_bytes",
+        kind: MetricKind::Histogram,
+        unit: Unit::Bytes,
+        buckets: SIZE_BUCKETS,
+    },
+    MetricDef {
+        name: "mpi.unexpected_hwm",
+        kind: MetricKind::Gauge,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fs.writes",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fs.reads",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fs.deletes",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fs.faults_injected",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fs.write_bytes",
+        kind: MetricKind::Histogram,
+        unit: Unit::Bytes,
+        buckets: SIZE_BUCKETS,
+    },
+    MetricDef {
+        name: "fs.read_bytes",
+        kind: MetricKind::Histogram,
+        unit: Unit::Bytes,
+        buckets: SIZE_BUCKETS,
+    },
+    MetricDef {
+        name: "fs.write_ns",
+        kind: MetricKind::Histogram,
+        unit: Unit::Nanos,
+        buckets: LATENCY_BUCKETS,
+    },
+    MetricDef {
+        name: "fs.read_ns",
+        kind: MetricKind::Histogram,
+        unit: Unit::Nanos,
+        buckets: LATENCY_BUCKETS,
+    },
+    MetricDef {
+        name: "ckpt.writes",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "ckpt.bytes_written",
+        kind: MetricKind::Counter,
+        unit: Unit::Bytes,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "ckpt.commit_ns",
+        kind: MetricKind::Histogram,
+        unit: Unit::Nanos,
+        buckets: LATENCY_BUCKETS,
+    },
+    MetricDef {
+        name: "ckpt.loads",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "ckpt.corrupt_discarded",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "ckpt.deletes",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fault.activations",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "fault.soft_flips",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+];
+
+/// A filled histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hist {
+    /// Per-bucket sample counts; `counts.len() == buckets.len() + 1`
+    /// (the last bucket is overflow).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Counter(u64),
+    Gauge(u64),
+    Hist(Hist),
+}
+
+/// One shard's (or the merged) metric storage, laid out per [`SPEC`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSet {
+    slots: Vec<Slot>,
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet::new()
+    }
+}
+
+impl MetricSet {
+    /// Fresh storage for the standard schema. The only allocation the
+    /// registry ever performs — recording never allocates.
+    pub fn new() -> Self {
+        let slots = SPEC
+            .iter()
+            .map(|d| match d.kind {
+                MetricKind::Counter => Slot::Counter(0),
+                MetricKind::Gauge => Slot::Gauge(0),
+                MetricKind::Histogram => Slot::Hist(Hist {
+                    counts: vec![0; d.buckets.len() + 1],
+                    count: 0,
+                    sum: 0,
+                }),
+            })
+            .collect();
+        MetricSet { slots }
+    }
+
+    /// Record `v` against metric `id`: counters accumulate, gauges keep
+    /// the maximum, histograms observe one sample.
+    #[inline]
+    pub fn add(&mut self, id: usize, v: u64) {
+        match &mut self.slots[id] {
+            Slot::Counter(c) => *c += v,
+            Slot::Gauge(g) => *g = (*g).max(v),
+            Slot::Hist(h) => {
+                let buckets = SPEC[id].buckets;
+                let i = buckets.partition_point(|&b| b < v);
+                h.counts[i] += 1;
+                h.count += 1;
+                h.sum += v;
+            }
+        }
+    }
+
+    /// Scalar value of a metric: counter/gauge value, or a histogram's
+    /// sample count.
+    pub fn value(&self, id: usize) -> u64 {
+        match &self.slots[id] {
+            Slot::Counter(v) | Slot::Gauge(v) => *v,
+            Slot::Hist(h) => h.count,
+        }
+    }
+
+    /// The histogram behind `id`, if it is one.
+    pub fn hist(&self, id: usize) -> Option<&Hist> {
+        match &self.slots[id] {
+            Slot::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Merge another shard's storage into this one (counters sum,
+    /// gauges max, histograms add elementwise), resetting `other`.
+    pub fn merge_from(&mut self, other: &mut MetricSet) {
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter_mut()) {
+            match (mine, theirs) {
+                (Slot::Counter(a), Slot::Counter(b)) => {
+                    *a += *b;
+                    *b = 0;
+                }
+                (Slot::Gauge(a), Slot::Gauge(b)) => {
+                    *a = (*a).max(*b);
+                    *b = 0;
+                }
+                (Slot::Hist(a), Slot::Hist(b)) => {
+                    for (x, y) in a.counts.iter_mut().zip(b.counts.iter_mut()) {
+                        *x += *y;
+                        *y = 0;
+                    }
+                    a.count += b.count;
+                    a.sum += b.sum;
+                    b.count = 0;
+                    b.sum = 0;
+                }
+                _ => unreachable!("schema-aligned slot kinds"),
+            }
+        }
+    }
+
+    /// Whether any metric recorded anything.
+    pub fn any_activity(&self) -> bool {
+        self.slots.iter().any(|s| match s {
+            Slot::Counter(v) | Slot::Gauge(v) => *v != 0,
+            Slot::Hist(h) => h.count != 0,
+        })
+    }
+
+    /// Append the `"metrics"` JSON object (name → typed value) to `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (id, def) in SPEC.iter().enumerate() {
+            if id > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{{\"kind\":", def.name);
+            match &self.slots[id] {
+                Slot::Counter(v) => {
+                    let _ = write!(
+                        out,
+                        "\"counter\",\"unit\":\"{}\",\"value\":{v}",
+                        def.unit.name()
+                    );
+                }
+                Slot::Gauge(v) => {
+                    let _ = write!(
+                        out,
+                        "\"gauge\",\"unit\":\"{}\",\"value\":{v}",
+                        def.unit.name()
+                    );
+                }
+                Slot::Hist(h) => {
+                    let _ = write!(
+                        out,
+                        "\"histogram\",\"unit\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        def.unit.name(),
+                        h.count,
+                        h.sum
+                    );
+                    for (i, b) in def.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (i, c) in h.counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_ids_line_up() {
+        assert_eq!(SPEC.len(), ids::FAULT_SOFT_FLIPS + 1);
+        assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
+        assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
+        assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
+        assert_eq!(SPEC[ids::FAULT_SOFT_FLIPS].name, "fault.soft_flips");
+        // Names are unique.
+        let mut names: Vec<_> = SPEC.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SPEC.len());
+    }
+
+    #[test]
+    fn counter_gauge_hist_semantics() {
+        let mut m = MetricSet::new();
+        assert!(!m.any_activity());
+        m.add(ids::FS_WRITES, 2);
+        m.add(ids::FS_WRITES, 3);
+        assert_eq!(m.value(ids::FS_WRITES), 5);
+        m.add(ids::MPI_UNEXPECTED_HWM, 7);
+        m.add(ids::MPI_UNEXPECTED_HWM, 4);
+        assert_eq!(m.value(ids::MPI_UNEXPECTED_HWM), 7, "gauge keeps max");
+        m.add(ids::NET_MSG_BYTES, 100);
+        m.add(ids::NET_MSG_BYTES, 1 << 30);
+        let h = m.hist(ids::NET_MSG_BYTES).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 100 + (1 << 30));
+        assert_eq!(h.counts[1], 1, "100 lands in (64, 256]");
+        assert_eq!(*h.counts.last().unwrap(), 1, "1 GiB overflows");
+        assert!(m.any_activity());
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive() {
+        let mut m = MetricSet::new();
+        m.add(ids::NET_MSG_BYTES, 64);
+        assert_eq!(m.hist(ids::NET_MSG_BYTES).unwrap().counts[0], 1);
+    }
+
+    #[test]
+    fn merge_sums_maxes_and_resets() {
+        let mut a = MetricSet::new();
+        let mut b = MetricSet::new();
+        a.add(ids::CKPT_WRITES, 1);
+        b.add(ids::CKPT_WRITES, 2);
+        a.add(ids::MPI_UNEXPECTED_HWM, 3);
+        b.add(ids::MPI_UNEXPECTED_HWM, 9);
+        b.add(ids::FS_WRITE_NS, 500);
+        a.merge_from(&mut b);
+        assert_eq!(a.value(ids::CKPT_WRITES), 3);
+        assert_eq!(a.value(ids::MPI_UNEXPECTED_HWM), 9);
+        assert_eq!(a.hist(ids::FS_WRITE_NS).unwrap().count, 1);
+        assert!(!b.any_activity(), "merge drains the source");
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut m = MetricSet::new();
+        m.add(ids::NET_MSGS_EAGER, 4);
+        m.add(ids::FS_WRITE_BYTES, 1024);
+        let mut s = String::new();
+        m.write_json(&mut s);
+        let v = crate::json::Json::parse(&s).expect("valid JSON");
+        assert_eq!(
+            v.get("net.msgs_eager")
+                .and_then(|e| e.get("value"))
+                .and_then(|n| n.as_u64()),
+            Some(4)
+        );
+        let hist = v.get("fs.write_bytes").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("kind").unwrap().as_str(), Some("histogram"));
+    }
+}

@@ -155,9 +155,7 @@ impl ProcModel {
         match work {
             Work::NativeTime(t) => t,
             Work::Flops(n) => SimTime::from_secs_f64(n as f64 / self.ref_core.flops_per_sec),
-            Work::MemBytes(n) => {
-                SimTime::from_secs_f64(n as f64 / self.ref_core.mem_bytes_per_sec)
-            }
+            Work::MemBytes(n) => SimTime::from_secs_f64(n as f64 / self.ref_core.mem_bytes_per_sec),
         }
     }
 

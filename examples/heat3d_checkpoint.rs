@@ -43,12 +43,7 @@ fn main() {
         CheckpointManager::new(&cfg.prefix),
     );
     let result = orchestrator
-        .run_to_completion(
-            store,
-            heat3d::program(cfg.clone()),
-            n,
-            || make_builder(n),
-        )
+        .run_to_completion(store, heat3d::program(cfg.clone()), n, || make_builder(n))
         .expect("campaign");
 
     println!("system MTTF: {mttf}");

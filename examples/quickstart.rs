@@ -22,7 +22,8 @@ fn main() {
             let w = mpi.world();
             // Each rank "computes" one millisecond of reference-core
             // work — the processor model stretches it 1000x.
-            mpi.compute(Work::native_time(SimTime::from_millis(1))).await;
+            mpi.compute(Work::native_time(SimTime::from_millis(1)))
+                .await;
 
             // Neighbor exchange around a ring.
             let right = (mpi.rank + 1) % mpi.size;

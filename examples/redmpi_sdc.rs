@@ -17,7 +17,9 @@ fn run(r: usize, logical: usize) {
     let victim_world_rank = r + (r - 1);
     let plan = SoftErrorPlan::new().with_flip(victim_world_rank, SimTime::from_millis(5), 999);
 
-    println!("== {r}x redundancy over {logical} logical ranks (victim: world rank {victim_world_rank})");
+    println!(
+        "== {r}x redundancy over {logical} logical ranks (victim: world rank {victim_world_rank})"
+    );
     let report = SimBuilder::new(n)
         .net(NetModel::small(n))
         .setup_hook(plan.install_hook())
@@ -25,7 +27,8 @@ fn run(r: usize, logical: usize) {
             let red = Redundant::split(&mpi, r).await?;
 
             // Every replica computes the same state...
-            mpi.compute(Work::native_time(SimTime::from_millis(10))).await;
+            mpi.compute(Work::native_time(SimTime::from_millis(10)))
+                .await;
             let mut state = 0x0123_4567_89AB_CDEFu64.to_le_bytes();
             // ...except the one hit by the injected soft error.
             for flip in soft::poll_flips() {

@@ -35,7 +35,10 @@ fn usage() -> ! {
 }
 
 fn parse_triple(s: &str) -> Option<[usize; 3]> {
-    let parts: Vec<usize> = s.split('x').map(|p| p.parse().ok()).collect::<Option<_>>()?;
+    let parts: Vec<usize> = s
+        .split('x')
+        .map(|p| p.parse().ok())
+        .collect::<Option<_>>()?;
     (parts.len() == 3).then(|| [parts[0], parts[1], parts[2]])
 }
 
@@ -100,10 +103,11 @@ fn cmd_heat(map: HashMap<String, String>) {
         .get("ranks")
         .and_then(|s| parse_triple(s))
         .unwrap_or([2, 2, 2]);
-    let global = map
-        .get("global")
-        .and_then(|s| parse_triple(s))
-        .unwrap_or([ranks[0] * 8, ranks[1] * 8, ranks[2] * 8]);
+    let global = map.get("global").and_then(|s| parse_triple(s)).unwrap_or([
+        ranks[0] * 8,
+        ranks[1] * 8,
+        ranks[2] * 8,
+    ]);
     let iters: u64 = get(&map, "iters", 100);
     let ckpt: u64 = get(&map, "ckpt", iters / 4);
     let halo: u64 = get(&map, "halo", ckpt);

@@ -21,6 +21,9 @@
 //!   bit-flip campaigns, soft-error injection.
 //! * [`ckpt`] — checksummed application-level checkpoint/restart and the
 //!   run→abort→restart orchestrator with continuous virtual timing.
+//! * [`obs`] — observability: metrics registry (counters, gauges,
+//!   histograms) across every subsystem and Chrome/Perfetto trace
+//!   export.
 //! * [`apps`] — the paper's 3-D heat application and companions.
 //!
 //! ## Quickstart
@@ -53,6 +56,7 @@ pub use xsim_fault as fault;
 pub use xsim_fs as fs;
 pub use xsim_mpi as mpi;
 pub use xsim_net as net;
+pub use xsim_obs as obs;
 pub use xsim_proc as proc;
 
 /// The most commonly used items in one import.
@@ -65,5 +69,6 @@ pub mod prelude {
         Comm, Detector, ErrHandler, MpiCtx, MpiError, ReduceOp, RunReport, SimBuilder,
     };
     pub use xsim_net::{Link, NetClass, NetModel, Topology};
+    pub use xsim_obs::{ids as metric_ids, ObsReport};
     pub use xsim_proc::{ProcModel, Work};
 }

@@ -130,7 +130,8 @@ fn failure_restart_reproduces_failure_free_result() {
     // Between-runs cleanup + exit-time persistence, then restart to
     // completion via the orchestrator (no further failures).
     xsim_ckpt::write_exit_time(&store, first.exit_time());
-    orch.manager.cleanup_incomplete(&store, cfg.n_ranks() as u32);
+    orch.manager
+        .cleanup_incomplete(&store, cfg.n_ranks() as u32);
     let result = orch
         .run_to_completion(store.clone(), program, cfg.n_ranks(), || {
             make_builder(cfg.n_ranks())
@@ -141,7 +142,11 @@ fn failure_restart_reproduces_failure_free_result() {
     // Continuous virtual timing: the final time exceeds the failure-free
     // time (lost progress was recomputed), and the restart started from
     // the aborted run's exit time (paper §IV-E).
-    assert!(result.finish_time > e1, "E2 {} <= E1 {e1}", result.finish_time);
+    assert!(
+        result.finish_time > e1,
+        "E2 {} <= E1 {e1}",
+        result.finish_time
+    );
 
     // Numerical equivalence.
     for rank in 0..cfg.n_ranks() as u32 {

@@ -87,7 +87,8 @@ fn network_energy_counts_traffic() {
         .run_app(|mpi| async move {
             let w = mpi.world();
             if mpi.rank == 0 {
-                mpi.send(w, 1, 0, bytes::Bytes::from(vec![0u8; 100])).await?;
+                mpi.send(w, 1, 0, bytes::Bytes::from(vec![0u8; 100]))
+                    .await?;
             } else {
                 mpi.recv(w, Some(0), Some(0)).await?;
             }

@@ -10,7 +10,8 @@ use xsim::prelude::*;
 /// Each rank computes a state value; ranks hit by a soft error apply the
 /// bit flip before the verification point.
 async fn replica_step(mpi: &MpiCtx) -> u64 {
-    mpi.compute(Work::native_time(SimTime::from_millis(10))).await;
+    mpi.compute(Work::native_time(SimTime::from_millis(10)))
+        .await;
     let mut state = [0u8; 8];
     state.copy_from_slice(&0xDEAD_BEEF_0123_4567u64.to_le_bytes());
     for flip in soft::poll_flips() {

@@ -112,10 +112,7 @@ fn monitor_detector_beats_timeout_detector() {
             .errhandler(ErrHandler::Return)
             .run_app(|mpi| async move {
                 if mpi.rank == 0 {
-                    let err = mpi
-                        .recv(mpi.world(), Some(1), None)
-                        .await
-                        .unwrap_err();
+                    let err = mpi.recv(mpi.world(), Some(1), None).await.unwrap_err();
                     assert!(matches!(err, MpiError::ProcFailed { .. }));
                 } else {
                     mpi.sleep(SimTime::from_millis(200)).await;
@@ -157,11 +154,7 @@ fn kernel_apps_run_on_the_paper_torus_subset() {
 
     let report = SimBuilder::new(n)
         .net(net)
-        .run(kernels::compute_allreduce(
-            5,
-            16,
-            SimTime::from_millis(1),
-        ))
+        .run(kernels::compute_allreduce(5, 16, SimTime::from_millis(1)))
         .unwrap();
     assert_eq!(report.sim.exit, ExitKind::Completed);
     // 5 rounds × (compute ≥ 1 ms) plus collective time.

@@ -11,7 +11,8 @@ fn trace_captures_phase_timeline() {
         .trace(true)
         .run_app(|mpi| async move {
             let w = mpi.world();
-            mpi.compute(Work::native_time(SimTime::from_millis(10))).await;
+            mpi.compute(Work::native_time(SimTime::from_millis(10)))
+                .await;
             if mpi.rank == 0 {
                 mpi.send(w, 1, 0, Bytes::from(vec![0u8; 256])).await?;
             } else {
@@ -36,7 +37,7 @@ fn trace_captures_phase_timeline() {
         .for_rank(Rank(0))
         .find(|e| e.kind == PhaseKind::Send)
         .expect("send traced");
-    assert_eq!(send.peer, 1);
+    assert_eq!(send.peer, Some(Rank(1)));
     assert_eq!(send.bytes, 256);
     assert!(send.start >= SimTime::from_millis(10));
     // Rank 1's recv knows its source.
@@ -44,7 +45,7 @@ fn trace_captures_phase_timeline() {
         .for_rank(Rank(1))
         .find(|e| e.kind == PhaseKind::Recv)
         .expect("recv traced");
-    assert_eq!(recv.peer, 0);
+    assert_eq!(recv.peer, Some(Rank(0)));
     assert_eq!(recv.bytes, 256);
     // Both ranks traced the barrier.
     assert_eq!(
@@ -68,8 +69,10 @@ fn trace_totals_reflect_compute_share() {
         .trace(true)
         .run_app(|mpi| async move {
             for _ in 0..5 {
-                mpi.compute(Work::native_time(SimTime::from_millis(20))).await;
-                mpi.allreduce_f64(mpi.world(), &[1.0], ReduceOp::Sum).await?;
+                mpi.compute(Work::native_time(SimTime::from_millis(20)))
+                    .await;
+                mpi.allreduce_f64(mpi.world(), &[1.0], ReduceOp::Sum)
+                    .await?;
             }
             mpi.finalize();
             Ok(())
@@ -96,7 +99,8 @@ fn tracing_disabled_by_default_and_costless() {
     let report = SimBuilder::new(2)
         .net(NetModel::small(2))
         .run_app(|mpi| async move {
-            mpi.compute(Work::native_time(SimTime::from_millis(1))).await;
+            mpi.compute(Work::native_time(SimTime::from_millis(1)))
+                .await;
             mpi.finalize();
             Ok(())
         })
