@@ -9,16 +9,16 @@
 use bytes::Bytes;
 use std::sync::Arc;
 use xsim_apps::heat3d::{self, HeatConfig};
-use xsim_bench::paper_builder;
+use xsim_bench::{apply_env_faults, paper_builder};
 use xsim_core::vp::VpProgram;
 use xsim_core::SimTime;
 use xsim_fs::FsModel;
-use xsim_mpi::{mpi_program, Detector, ErrHandler, MpiCtx, SimBuilder};
-use xsim_net::NetModel;
+use xsim_mpi::{mpi_program, Detector, ErrHandler, LossyTransport, MpiCtx, SimBuilder};
+use xsim_net::{LinkFaultKind, NetFault, NetModel, Topology};
+use xsim_obs::ids;
 
 fn run_virtual(n: usize, program: Arc<dyn VpProgram>) -> SimTime {
-    SimBuilder::new(n)
-        .net(NetModel::small(n))
+    apply_env_faults(SimBuilder::new(n).net(NetModel::small(n)))
         .run(program)
         .unwrap()
         .exit_time()
@@ -272,6 +272,122 @@ fn section_drain_contention() {
     println!();
 }
 
+/// A neighbor exchange along x on a small torus, with metrics on; the
+/// common workload of both `--net-faults` sub-sweeps.
+fn torus_exchange(
+    seed: u64,
+    lossy: Option<LossyTransport>,
+    faults: Vec<NetFault>,
+) -> xsim_mpi::RunReport {
+    let mut net = NetModel::paper_machine();
+    net.topology = Topology::Torus3d { dims: [4, 4, 4] };
+    let mut b = SimBuilder::new(64).net(net).seed(seed).metrics(true);
+    if let Some(l) = lossy {
+        b = b.lossy(l);
+    }
+    if !faults.is_empty() {
+        b = b.net_faults(faults);
+    }
+    b.run_app(|mpi| async move {
+        let w = mpi.world();
+        for round in 0..4u32 {
+            let dst = (mpi.rank + 1) % mpi.size;
+            let src = (mpi.rank + mpi.size - 1) % mpi.size;
+            mpi.sendrecv(
+                w,
+                dst,
+                round,
+                Bytes::from(vec![0u8; 4096]),
+                Some(src),
+                Some(round),
+            )
+            .await?;
+        }
+        mpi.finalize();
+        Ok(())
+    })
+    .expect("net-fault run")
+}
+
+fn metric(report: &xsim_mpi::RunReport, id: usize) -> u64 {
+    report.metrics.as_ref().expect("metrics on").set.value(id)
+}
+
+fn section_net_faults(seed: u64) {
+    println!("## Lossy transport sweep (64-rank torus exchange, drop probability)");
+    println!(
+        "{:>8} {:>16} {:>8} {:>12} {:>14}",
+        "drop", "virtual time", "drops", "retransmits", "backoff"
+    );
+    for drop in [0.0f64, 0.05, 0.2, 0.4] {
+        let report = torus_exchange(
+            seed,
+            Some(LossyTransport {
+                drop_prob: drop,
+                corrupt_prob: drop / 10.0,
+                ..LossyTransport::default()
+            }),
+            Vec::new(),
+        );
+        println!(
+            "{drop:>8.2} {:>16} {:>8} {:>12} {:>14}",
+            report.exit_time(),
+            metric(&report, ids::NET_DROPS),
+            metric(&report, ids::NET_RETRANSMITS),
+            SimTime(metric(&report, ids::NET_BACKOFF_NS)),
+        );
+    }
+    println!();
+
+    println!("## Link/switch fault sweep (same exchange, 4x4x4 torus)");
+    println!(
+        "{:>28} {:>16} {:>14} {:>14}",
+        "scenario", "virtual time", "rerouted hops", "degraded time"
+    );
+    let dead = |node: usize| NetFault {
+        node,
+        dir: Some(0),
+        kind: LinkFaultKind::Down,
+        from: SimTime::ZERO,
+        until: None,
+    };
+    let degraded = |node: usize| NetFault {
+        node,
+        dir: Some(0),
+        kind: LinkFaultKind::Degraded(0.25),
+        from: SimTime::ZERO,
+        until: None,
+    };
+    let scenarios: Vec<(&str, Vec<NetFault>)> = vec![
+        ("healthy", Vec::new()),
+        ("1 dead +x link", vec![dead(0)]),
+        (
+            "4 dead +x links",
+            vec![dead(0), dead(5), dead(21), dead(42)],
+        ),
+        ("1 link at 25% bandwidth", vec![degraded(2)]),
+        (
+            "dead + degraded mix",
+            vec![dead(0), degraded(2), degraded(33)],
+        ),
+    ];
+    for (label, faults) in scenarios {
+        let report = torus_exchange(seed, None, faults);
+        println!(
+            "{label:>28} {:>16} {:>14} {:>14}",
+            report.exit_time(),
+            metric(&report, ids::NET_REROUTED_HOPS),
+            SimTime(metric(&report, ids::NET_DEGRADED_NS)),
+        );
+    }
+    println!(
+        "  (reroutes inflate hop counts around dead links; degraded links\n   \
+         stretch transfers; a partitioning cut would escalate the peer into\n   \
+         the process-failure path instead)"
+    );
+    println!();
+}
+
 fn main() {
     let flags = xsim_bench::parse_flags();
     if let Some(p) = &flags.profile {
@@ -288,6 +404,9 @@ fn main() {
             }))
             .expect("profile run");
         xsim_bench::write_profile(&report, p);
+    }
+    if flags.net_faults {
+        section_net_faults(flags.seed);
     }
     section_collectives();
     section_eager_threshold();

@@ -14,7 +14,9 @@
 //! ```
 
 use xsim_apps::heat3d::{self, HeatConfig};
-use xsim_bench::{paper_builder, parse_flags, table2_config, write_profile, Scale};
+use xsim_bench::{
+    apply_env_faults, paper_builder, parse_flags, table2_config, write_profile, Scale,
+};
 use xsim_ckpt::CheckpointManager;
 use xsim_core::{ExitKind, SimTime};
 use xsim_fs::FsModel;
@@ -56,7 +58,10 @@ fn main() {
         read_bw: 2.0e9,
     };
 
-    let mut builder = paper_builder(&cfg, flags.workers, flags.seed).fs_model(fs_model);
+    // The "clean" run honors XSIM_FAILURES / XSIM_NET_FAULTS so the
+    // narrative can be perturbed from the environment.
+    let mut builder =
+        apply_env_faults(paper_builder(&cfg, flags.workers, flags.seed).fs_model(fs_model));
     if flags.profile.is_some() {
         builder = builder.trace(true).metrics(true);
     }

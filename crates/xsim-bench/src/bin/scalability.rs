@@ -9,7 +9,7 @@
 //! ```
 
 use xsim_apps::kernels;
-use xsim_bench::{parse_flags, peak_rss_kib, write_profile};
+use xsim_bench::{apply_env_faults, parse_flags, peak_rss_kib, write_profile};
 use xsim_core::SimTime;
 use xsim_mpi::SimBuilder;
 use xsim_net::{NetModel, Topology};
@@ -41,9 +41,7 @@ fn main() {
         net.topology = torus_for(n);
         // noop: raw VP spawn/teardown capacity.
         let t = std::time::Instant::now();
-        let report = SimBuilder::new(n)
-            .net(net.clone())
-            .workers(flags.workers)
+        let report = apply_env_faults(SimBuilder::new(n).net(net.clone()).workers(flags.workers))
             .run(kernels::noop(SimTime::from_millis(1)))
             .expect("noop run");
         let wall = t.elapsed();
@@ -60,7 +58,7 @@ fn main() {
         if exp <= 18 {
             let prof = profile.take();
             let t = std::time::Instant::now();
-            let mut builder = SimBuilder::new(n).net(net).workers(flags.workers);
+            let mut builder = apply_env_faults(SimBuilder::new(n).net(net).workers(flags.workers));
             if prof.is_some() {
                 builder = builder.trace(true).metrics(true);
             }

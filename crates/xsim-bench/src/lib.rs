@@ -16,10 +16,10 @@ use std::sync::Arc;
 use xsim_apps::heat3d::{self, HeatConfig};
 use xsim_ckpt::{CampaignResult, CheckpointManager, Orchestrator};
 use xsim_core::{SimError, SimTime};
-use xsim_fault::FailureModel;
+use xsim_fault::{FailureModel, FailureSchedule, FaultSchedule};
 use xsim_fs::FsStore;
 use xsim_mpi::{RunReport, SimBuilder};
-use xsim_net::NetModel;
+use xsim_net::{NetFault, NetModel};
 use xsim_proc::ProcModel;
 
 /// Builder configured like the paper's simulated system (§V-C): 32³
@@ -85,6 +85,54 @@ pub fn table2_config(scale: Scale, ckpt_interval: u64) -> HeatConfig {
     }
 }
 
+/// The environment-variable fault schedules every harness binary honors
+/// (xSim's env-var injection path, paper §IV-B, extended to the network
+/// fault surface): `XSIM_FAILURES` (`rank:seconds,...`) and
+/// `XSIM_NET_FAULTS` (`rank:R:SECS`, `link:NODE:DIR:SECS[:kind]`,
+/// `switch:NODE:SECS[:kind]`). Rank entries of `XSIM_NET_FAULTS` merge
+/// into the process-failure half. Exits with a diagnostic on a
+/// malformed schedule.
+pub fn env_fault_schedules() -> (FailureSchedule, Vec<NetFault>) {
+    let mut failures = match FailureSchedule::from_env() {
+        Ok(s) => s.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("XSIM_FAILURES: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut net = Vec::new();
+    match FaultSchedule::from_env() {
+        Ok(Some(s)) => {
+            for (rank, at) in s.rank_failures().iter() {
+                failures.push(rank, at);
+            }
+            net = s.net_faults();
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("XSIM_NET_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    }
+    (failures, net)
+}
+
+/// Apply the environment fault schedules to a builder (no-op when
+/// neither variable is set). Harness binaries pass every builder they
+/// construct through this, so a user can perturb any table or sweep
+/// without recompiling.
+pub fn apply_env_faults(builder: SimBuilder) -> SimBuilder {
+    let (failures, net) = env_fault_schedules();
+    let mut b = builder;
+    if !failures.is_empty() {
+        b = b.inject_failures(failures.iter());
+    }
+    if !net.is_empty() {
+        b = b.net_faults(net);
+    }
+    b
+}
+
 /// Parse common CLI flags of the harness binaries.
 pub fn parse_flags() -> Flags {
     let mut flags = Flags::default();
@@ -92,6 +140,7 @@ pub fn parse_flags() -> Flags {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => flags.scale = Scale::Quick,
+            "--net-faults" => flags.net_faults = true,
             "--workers" => {
                 flags.workers = args
                     .next()
@@ -106,7 +155,8 @@ pub fn parse_flags() -> Flags {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --quick --workers N --seed N --profile out.json"
+                    "unknown flag {other}; known: --quick --net-faults --workers N --seed N \
+                     --profile out.json"
                 );
                 std::process::exit(2);
             }
@@ -120,6 +170,8 @@ pub fn parse_flags() -> Flags {
 pub struct Flags {
     /// Scale selection.
     pub scale: Scale,
+    /// Run the network-fault sweep sections (`--net-faults`).
+    pub net_faults: bool,
     /// Native worker threads.
     pub workers: usize,
     /// Master seed.
@@ -133,6 +185,7 @@ impl Default for Flags {
     fn default() -> Self {
         Flags {
             scale: Scale::Paper,
+            net_faults: false,
             workers: 1,
             // Default chosen so both MTTF groups of Table II experience
             // failures in their first run (any seed is valid; the runs

@@ -15,18 +15,23 @@
 //! * [`reliability`] — component-based system reliability models (FIT
 //!   rates composed into node/system failure processes, the announced
 //!   future-work item (2) of §VI).
+//! * [`netfault`] — component-addressed fault schedules generalizing
+//!   rank/time pairs to links and switches (permanent, transient,
+//!   degraded), with FIT-driven generation for the interconnect.
 //! * [`soft`] — a soft-error (silent data corruption) injector for
 //!   application-registered memory, the capability the paper's
 //!   conclusion announces ("tracking of dynamic memory allocation …
 //!   the last piece needed to develop a soft error injector", §VI).
 
 pub mod bitflip;
+pub mod netfault;
 pub mod random;
 pub mod reliability;
 pub mod schedule;
 pub mod soft;
 
 pub use bitflip::{CampaignStats, FlipOutcome, Victim, VictimLayout};
+pub use netfault::{Fault, FaultComponent, FaultKind, FaultSchedule, NetReliability};
 pub use random::{FailureModel, RunDraw};
 pub use reliability::{Component, NodeReliability, SystemReliability};
 pub use schedule::FailureSchedule;

@@ -59,13 +59,18 @@ fn abort_notice(k: &mut Kernel, me: Rank, t_abort: SimTime) {
     if k.vp(me).is_done() {
         return;
     }
-    with_mpi(k, |_k, svc| {
+    // Two racing aborts deliver two notices; `me` must activate at the
+    // *earliest* abort time, not at whichever notice arrives last — so
+    // arm the clock activation and the wakeup with the min.
+    let t_min = with_mpi(k, |_k, svc| {
         let rm = svc.rank_mut(me);
-        rm.aborted = Some(match rm.aborted {
+        let t = match rm.aborted {
             Some(t) => t.min(t_abort),
             None => t_abort,
-        });
+        };
+        rm.aborted = Some(t);
+        t
     });
-    k.set_abort_at(me, t_abort);
-    k.wake_if_message_blocked(me, t_abort);
+    k.set_abort_at(me, t_min);
+    k.wake_if_message_blocked(me, t_min);
 }

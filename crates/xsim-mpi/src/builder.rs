@@ -6,7 +6,8 @@
 use crate::error::ErrHandler;
 use crate::mpi_ctx::{mpi_program, MpiCtx};
 use crate::state::{
-    install_failure_hook, CollAlgo, Detector, MpiService, MpiStats, MpiWorld, PowerService,
+    install_failure_hook, CollAlgo, Detector, LossyTransport, MpiService, MpiStats, MpiWorld,
+    PowerService,
 };
 use crate::trace::{Trace, TraceEvent, TraceService};
 use parking_lot::Mutex;
@@ -15,7 +16,7 @@ use std::sync::Arc;
 use xsim_core::vp::VpProgram;
 use xsim_core::{engine, CoreConfig, Kernel, Rank, SimError, SimReport, SimTime};
 use xsim_fs::{FsModel, FsService, FsStore};
-use xsim_net::NetModel;
+use xsim_net::{LinkStateTable, NetFault, NetModel};
 use xsim_obs::{ChromeTraceWriter, ObsReport, ObsService, ObsSink};
 use xsim_proc::{PowerModel, PowerReport, ProcModel};
 
@@ -129,6 +130,8 @@ pub struct SimBuilder {
     fs_store: Arc<FsStore>,
     errhandler: ErrHandler,
     failures: Vec<(Rank, SimTime)>,
+    net_faults: Vec<NetFault>,
+    lossy: Option<LossyTransport>,
     notify_delay: Option<SimTime>,
     detector: Detector,
     coll_algo: CollAlgo,
@@ -157,6 +160,8 @@ impl SimBuilder {
             fs_store: FsStore::new(),
             errhandler: ErrHandler::Fatal,
             failures: Vec::new(),
+            net_faults: Vec::new(),
+            lossy: None,
             notify_delay: None,
             detector: Detector::Timeout,
             coll_algo: CollAlgo::Linear,
@@ -261,6 +266,27 @@ impl SimBuilder {
         self
     }
 
+    /// Schedule link/switch faults on the interconnect (permanent,
+    /// transient, or degraded — see `xsim_net::NetFault`). At `run()`
+    /// time the faults are compiled into a `LinkStateTable` over the
+    /// machine topology and attached to the network model: system-class
+    /// messages then route around dead links (hop-count inflation),
+    /// pay degraded-link bandwidth, and detect partitions.
+    pub fn net_faults(mut self, faults: impl IntoIterator<Item = NetFault>) -> Self {
+        self.net_faults.extend(faults);
+        self
+    }
+
+    /// Make the transport lossy: transmission attempts drop/corrupt per
+    /// the configured probabilities and are retransmitted with
+    /// exponential backoff; an exhausted retry budget escalates the peer
+    /// into the process-failure path. A `LossyTransport` seed of 0 is
+    /// replaced by the run's master seed.
+    pub fn lossy(mut self, l: LossyTransport) -> Self {
+        self.lossy = Some(l);
+        self
+    }
+
     /// Override the simulator-internal notification delay (default: the
     /// network model's minimum latency).
     pub fn notify_delay(mut self, d: SimTime) -> Self {
@@ -328,7 +354,25 @@ impl SimBuilder {
     /// Run an arbitrary [`VpProgram`].
     pub fn run(self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
         self.net.validate(self.n_ranks).map_err(SimError::Config)?;
-        let lookahead = self.net.min_latency();
+        let net = if self.net_faults.is_empty() {
+            self.net
+        } else {
+            // Rerouting only lengthens routes and degradation only lowers
+            // bandwidth, so the fault-free min_latency() below stays a
+            // valid conservative lookahead.
+            let mut table = LinkStateTable::new(self.net.topology.clone());
+            for f in &self.net_faults {
+                table.add(*f);
+            }
+            self.net.with_faults(table)
+        };
+        let lossy = self.lossy.map(|mut l| {
+            if l.seed == 0 {
+                l.seed = self.seed;
+            }
+            l
+        });
+        let lookahead = net.min_latency();
         let notify_delay = self.notify_delay.unwrap_or(lookahead).max(lookahead);
         let start_time = self.start_time;
 
@@ -345,12 +389,13 @@ impl SimBuilder {
 
         let world = Arc::new(MpiWorld {
             n_ranks: self.n_ranks,
-            net: self.net,
+            net,
             proc: self.proc,
             notify_delay,
             default_errhandler: self.errhandler,
             detector: self.detector,
             coll_algo: self.coll_algo,
+            lossy,
             verbose: self.verbose,
         });
         let stats_sink = Arc::new(Mutex::new(MpiStats::default()));

@@ -47,5 +47,5 @@ pub use error::{ErrHandler, MpiError};
 pub use mpi_ctx::{mpi_program, MpiCtx};
 pub use redundancy::{Redundant, Verdict};
 pub use request::{RecvOut, ReqId};
-pub use state::{CollAlgo, Detector, MpiStats, MpiWorld};
+pub use state::{CollAlgo, Detector, LossyTransport, MpiStats, MpiWorld, TxOutcome};
 pub use trace::{PhaseKind, Trace, TraceEvent};

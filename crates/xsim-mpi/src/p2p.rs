@@ -14,12 +14,28 @@
 //! have failed — and wildcard receives while an unacknowledged failure
 //! exists — complete with `MPI_ERR_PROC_FAILED` at
 //! `max(post time, time of failure) + network timeout`.
+//!
+//! Under link/switch faults, injection consults `NetModel::p2p_at`:
+//! rerouted messages pay the inflated hop count, degraded links stretch
+//! the transfer, and a partitioned destination is escalated into the
+//! process-failure path. Under a [`LossyTransport`]
+//! (`crate::state::LossyTransport`), each message's transmission
+//! attempts are resolved deterministically at injection: the accumulated
+//! retransmission backoff delays delivery, and an exhausted retry budget
+//! likewise escalates the peer. Note that retransmission delays relax
+//! MPI's non-overtaking guarantee between same-peer messages — matching
+//! remains correct (the queues match on arrival order), but a later send
+//! can arrive first.
+//!
+//! [`LossyTransport`]: crate::state::LossyTransport
 
 use crate::comm::CommId;
 use crate::error::MpiError;
 use crate::msg::{Envelope, PostedRecv, SrcSel, TagSel};
 use crate::request::{RecvOut, ReqId, ReqKind, ReqResult};
-use crate::state::{schedule_request_failure, MpiService, RankMpi};
+use crate::state::{
+    escalate_unreachable, schedule_request_failure, MpiService, RankMpi, TxOutcome,
+};
 use bytes::Bytes;
 use xsim_core::event::Action;
 use xsim_core::vp::WaitClass;
@@ -88,7 +104,10 @@ pub(crate) async fn isend_ex(
                 .world_rank(dst)
                 .ok_or(MpiError::Invalid("destination rank out of range"))?;
 
-            let timing = svc.world.net.p2p(me, dst_world, data.len());
+            let base = svc.world.net.p2p(me, dst_world, data.len());
+            // Fault-aware route at injection time: None means the live
+            // link faults partition the network between the two nodes.
+            let route = svc.world.net.p2p_at(me, dst_world, data.len(), now);
             let send_overhead = svc.world.net.send_overhead;
             let world = svc.world.clone();
 
@@ -96,14 +115,14 @@ pub(crate) async fn isend_ex(
                 let nbytes = data.len() as u64;
                 obs::record(
                     k,
-                    if timing.eager {
+                    if base.eager {
                         ids::NET_MSGS_EAGER
                     } else {
                         ids::NET_MSGS_RENDEZVOUS
                     },
                     1,
                 );
-                let class_id = match timing.class {
+                let class_id = match base.class {
                     NetClass::OnChip => ids::NET_BYTES_ONCHIP,
                     NetClass::OnNode => ids::NET_BYTES_ONNODE,
                     NetClass::System => ids::NET_BYTES_SYSTEM,
@@ -129,7 +148,91 @@ pub(crate) async fn isend_ex(
                 return Ok((req, send_overhead));
             }
 
-            let header_arrival = now + send_overhead + timing.latency;
+            let Some(route) = route else {
+                // Partition: no live path to the destination. Treat the
+                // peer as unreachable — fail it one notification delay
+                // out and let the regular detection/notification path
+                // surface MPI_ERR_PROC_FAILED here and everywhere else.
+                let tof = now + world.notify_delay;
+                escalate_unreachable(k, dst_world, tof);
+                let at = world.failure_error_time(me, dst_world, now, tof);
+                schedule_request_failure(k, me, req, at, dst_world, tof);
+                return Ok((req, send_overhead));
+            };
+            let timing = route.timing;
+
+            // Lossy transport: resolve every transmission attempt now
+            // (deterministic per (src, dst, seq, attempt)) and either
+            // charge the accumulated backoff to the delivery time or
+            // declare the peer unreachable on budget exhaustion.
+            let mut backoff_total = SimTime::ZERO;
+            let mut attempts_dropped = 0u64;
+            let mut attempts_corrupt = 0u64;
+            let mut delivered = true;
+            // Only fabric (system-class) links are lossy; on-node shared
+            // memory stays reliable.
+            let lossy_here = world
+                .lossy
+                .filter(|l| base.class == NetClass::System && l.applies(me, dst_world));
+            if let Some(lossy) = lossy_here {
+                let mut attempt = 0u32;
+                loop {
+                    match lossy.tx_outcome(me, dst_world, seq, attempt) {
+                        TxOutcome::Delivered => break,
+                        out => {
+                            if out == TxOutcome::Corrupted {
+                                attempts_corrupt += 1;
+                            } else {
+                                attempts_dropped += 1;
+                            }
+                            if attempt >= lossy.max_retries {
+                                delivered = false;
+                                break;
+                            }
+                            backoff_total += lossy.backoff(attempt);
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+
+            if obs::enabled(k) {
+                let failures = attempts_dropped + attempts_corrupt;
+                if attempts_dropped > 0 {
+                    obs::record(k, ids::NET_DROPS, attempts_dropped);
+                }
+                if attempts_corrupt > 0 {
+                    obs::record(k, ids::NET_CORRUPT_DROPS, attempts_corrupt);
+                }
+                if failures > 0 {
+                    // Retransmits = attempts beyond the first; the final
+                    // failed attempt of an exhausted budget is not
+                    // followed by another.
+                    let retrans = if delivered { failures } else { failures - 1 };
+                    obs::record(k, ids::NET_RETRANSMITS, retrans);
+                    obs::record(k, ids::NET_BACKOFF_NS, backoff_total.as_nanos());
+                }
+                if route.extra_hops > 0 {
+                    obs::record(k, ids::NET_REROUTED_HOPS, route.extra_hops as u64);
+                }
+                if timing.eager && route.degraded_extra > SimTime::ZERO {
+                    obs::record(k, ids::NET_DEGRADED_NS, route.degraded_extra.as_nanos());
+                }
+            }
+
+            if !delivered {
+                // Retry budget exhausted: the destination is unreachable
+                // as far as this NIC can tell. Escalate into the process
+                // failure path at the moment the last retry gave up.
+                let t_give_up = now + send_overhead + backoff_total;
+                let tof = t_give_up.max(now + world.notify_delay);
+                escalate_unreachable(k, dst_world, tof);
+                let at = world.failure_error_time(me, dst_world, now, tof);
+                schedule_request_failure(k, me, req, at, dst_world, tof);
+                return Ok((req, send_overhead));
+            }
+
+            let header_arrival = now + send_overhead + backoff_total + timing.latency;
             let env = Envelope {
                 src: me,
                 comm,
@@ -274,7 +377,23 @@ fn complete_match(
     let (base, send_finish) = match env.payload_ready {
         Some(ready) => (t_match.max(ready), None),
         None => {
-            let timing = svc.world.net.p2p(env.src, dst, env.data.len());
+            // Rendezvous: the transfer happens now, so route it over the
+            // link state at match time — a link that degraded or healed
+            // since injection changes the transfer, not the handshake.
+            // If the network partitioned after the RTS arrived, fall
+            // back to the fault-free timing: detection is the job of the
+            // next injection, not of an already-matched handshake.
+            let (timing, degraded) =
+                match svc.world.net.p2p_at(env.src, dst, env.data.len(), t_match) {
+                    Some(r) => (r.timing, r.degraded_extra),
+                    None => (
+                        svc.world.net.p2p(env.src, dst, env.data.len()),
+                        SimTime::ZERO,
+                    ),
+                };
+            if degraded > SimTime::ZERO {
+                obs::record(k, ids::NET_DEGRADED_NS, degraded.as_nanos());
+            }
             let xfer_done = t_match + timing.latency + timing.latency + timing.transfer;
             (xfer_done, env.send_req.map(|sr| (sr, xfer_done)))
         }

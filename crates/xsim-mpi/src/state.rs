@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::Arc;
 use xsim_core::event::Action;
-use xsim_core::{Kernel, Rank, SimTime};
+use xsim_core::{DetRng, Kernel, Rank, SimTime};
 use xsim_net::NetModel;
 use xsim_proc::ProcModel;
 
@@ -44,6 +44,113 @@ pub enum CollAlgo {
     Tree,
 }
 
+/// Outcome of one transmission attempt over a lossy transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The attempt reached the destination NIC intact.
+    Delivered,
+    /// The attempt was lost on the wire (no payload arrives).
+    Dropped,
+    /// The attempt arrived but failed the receiver's integrity check
+    /// (CRC/checksum) and was discarded — indistinguishable from a drop
+    /// to the protocol, but counted separately.
+    Corrupted,
+}
+
+/// A lossy simulated transport: every transmission attempt may be
+/// dropped or corrupted, and the simulated NIC retransmits with
+/// exponential backoff up to a bounded retry budget. When the budget is
+/// exhausted (or the network is partitioned) the peer is escalated into
+/// the regular process-failure path, so ULFM/abort/checkpoint recovery
+/// compose unchanged.
+///
+/// All loss decisions are drawn from counter-based deterministic
+/// streams keyed by `(src, dst, seq, attempt)`: the same seed produces
+/// the same drops regardless of worker count or event interleaving.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyTransport {
+    /// Probability that one attempt is dropped in transit.
+    pub drop_prob: f64,
+    /// Probability that one attempt arrives corrupted (discarded at the
+    /// receiver after the integrity check).
+    pub corrupt_prob: f64,
+    /// Retransmission budget: after `1 + max_retries` failed attempts
+    /// the destination is declared unreachable.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base << k` (exponential).
+    pub backoff_base: SimTime,
+    /// Restrict loss to messages to or from this world rank (`None` =
+    /// every system-class message is lossy). Tests use this to keep
+    /// recovery traffic between survivors reliable.
+    pub victim: Option<Rank>,
+    /// Seed of the loss streams; `0` means "use the run's master seed"
+    /// (filled in by the builder).
+    pub seed: u64,
+}
+
+impl Default for LossyTransport {
+    fn default() -> Self {
+        LossyTransport {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            max_retries: 8,
+            backoff_base: SimTime::from_micros(10),
+            victim: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Stream-tag domain separator for loss draws (see `DetRng::stream`).
+const LOSSY_STREAM: u64 = 0x10_55_1E_57;
+
+impl LossyTransport {
+    /// A transport dropping each attempt with probability `drop_prob`.
+    pub fn with_drop_prob(drop_prob: f64) -> Self {
+        LossyTransport {
+            drop_prob,
+            ..Self::default()
+        }
+    }
+
+    /// Whether loss applies to a message between `src` and `dst`.
+    pub fn applies(&self, src: Rank, dst: Rank) -> bool {
+        self.victim.is_none_or(|v| v == src || v == dst)
+    }
+
+    /// The fate of transmission attempt `attempt` of message `seq` from
+    /// `src` to `dst` — a pure function of the seed and the identifying
+    /// tuple, so both engines and any shard layout agree on it.
+    pub fn tx_outcome(&self, src: Rank, dst: Rank, seq: u64, attempt: u32) -> TxOutcome {
+        if self.drop_prob <= 0.0 && self.corrupt_prob <= 0.0 {
+            return TxOutcome::Delivered;
+        }
+        let tag = (src.idx() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((dst.idx() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(seq.wrapping_mul(0x1656_67B1_9E37_79F9))
+            .wrapping_add(attempt as u64)
+            ^ LOSSY_STREAM;
+        let u = DetRng::stream(self.seed, tag).gen_f64();
+        if u < self.drop_prob {
+            TxOutcome::Dropped
+        } else if u < self.drop_prob + self.corrupt_prob {
+            TxOutcome::Corrupted
+        } else {
+            TxOutcome::Delivered
+        }
+    }
+
+    /// Backoff delay preceding retransmission attempt `attempt + 1`.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        SimTime(
+            self.backoff_base
+                .as_nanos()
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX)),
+        )
+    }
+}
+
 /// Immutable, shared configuration of the simulated MPI world.
 pub struct MpiWorld {
     /// Number of ranks in `MPI_COMM_WORLD`.
@@ -62,6 +169,9 @@ pub struct MpiWorld {
     pub detector: Detector,
     /// Collective algorithm selection.
     pub coll_algo: CollAlgo,
+    /// Lossy-transport configuration; `None` (the default) keeps the
+    /// reliable transport with no retransmission machinery.
+    pub lossy: Option<LossyTransport>,
     /// Print simulator-internal informational messages.
     pub verbose: bool,
 }
@@ -358,6 +468,27 @@ fn on_failure_notice(k: &mut Kernel, me: Rank, dead: Rank, tof: SimTime) {
     }
 }
 
+/// Escalate an unreachable peer into the process-failure path: at `tof`
+/// the peer's VP is failed (if still alive), which fires the regular
+/// failure hook — broadcast notification, `MPI_ERR_PROC_FAILED` on
+/// pending operations, and whatever recovery the application configured
+/// (abort under `MPI_ERRORS_ARE_FATAL`, ULFM revoke/shrink, restart).
+///
+/// Called by the lossy transport when the retransmission budget towards
+/// `peer` is exhausted, and on partition detection. `tof` must be at
+/// least one notification delay in the future (lookahead safety).
+pub fn escalate_unreachable(k: &mut Kernel, peer: Rank, tof: SimTime) {
+    k.schedule_at(
+        tof,
+        peer,
+        Action::Call(Box::new(move |k: &mut Kernel| {
+            if !k.vp(peer).is_done() {
+                k.kill_failed(peer, tof, tof);
+            }
+        })),
+    );
+}
+
 /// Schedule the error completion of a request at `at` (unless something
 /// else completes it first — e.g. a message that matches a wildcard
 /// receive before the timeout expires).
@@ -417,6 +548,7 @@ mod tests {
             default_errhandler: ErrHandler::Fatal,
             detector: Detector::Timeout,
             coll_algo: CollAlgo::Linear,
+            lossy: None,
             verbose: false,
         })
     }
@@ -474,5 +606,55 @@ mod tests {
         assert_eq!(rm.first_unacked_failure(), Some((Rank(2), SimTime(10))));
         rm.acked.insert(Rank(2));
         assert!(rm.first_unacked_failure().is_none());
+    }
+
+    #[test]
+    fn lossy_outcomes_are_deterministic() {
+        let l = LossyTransport {
+            drop_prob: 0.4,
+            corrupt_prob: 0.1,
+            seed: 42,
+            ..LossyTransport::default()
+        };
+        let mut seen = [0usize; 3];
+        for seq in 0..400u64 {
+            let a = l.tx_outcome(Rank(1), Rank(2), seq, 0);
+            assert_eq!(a, l.tx_outcome(Rank(1), Rank(2), seq, 0));
+            seen[match a {
+                TxOutcome::Delivered => 0,
+                TxOutcome::Dropped => 1,
+                TxOutcome::Corrupted => 2,
+            }] += 1;
+        }
+        // 400 draws at 50%/40%/10%: each bucket must be populated.
+        assert!(seen.iter().all(|&c| c > 0), "outcome mix {seen:?}");
+        // A different attempt number redraws independently.
+        assert!((0..400u64).any(|s| {
+            l.tx_outcome(Rank(1), Rank(2), s, 0) != l.tx_outcome(Rank(1), Rank(2), s, 1)
+        }));
+    }
+
+    #[test]
+    fn lossy_victim_scopes_loss() {
+        let l = LossyTransport {
+            victim: Some(Rank(3)),
+            ..LossyTransport::default()
+        };
+        assert!(l.applies(Rank(3), Rank(0)));
+        assert!(l.applies(Rank(0), Rank(3)));
+        assert!(!l.applies(Rank(0), Rank(1)));
+        assert!(LossyTransport::default().applies(Rank(0), Rank(1)));
+    }
+
+    #[test]
+    fn lossy_backoff_doubles_and_saturates() {
+        let l = LossyTransport {
+            backoff_base: SimTime::from_micros(10),
+            ..LossyTransport::default()
+        };
+        assert_eq!(l.backoff(0), SimTime::from_micros(10));
+        assert_eq!(l.backoff(1), SimTime::from_micros(20));
+        assert_eq!(l.backoff(3), SimTime::from_micros(80));
+        assert_eq!(l.backoff(200), SimTime(u64::MAX));
     }
 }

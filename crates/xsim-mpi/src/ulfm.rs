@@ -82,6 +82,13 @@ fn apply_revoke(svc: &mut MpiService, rank: Rank, comm: CommId, at: SimTime) -> 
     let pending = rm.reqs.pending_on_comm(comm);
     let mut any = false;
     for (id, _) in pending {
+        // ULFM recovery traffic is exempt: a member already inside
+        // comm_shrink when the revoke notice lands must not have its
+        // report/survivor-list exchange released, or the shrink itself
+        // would fail with Revoked.
+        if rm.reqs.get(id).is_some_and(|r| r.tag >= SHRINK_TAG) {
+            continue;
+        }
         if rm.reqs.complete(id, at, Err(MpiError::Revoked)) {
             rm.queues.cancel_posted(id.0);
             rm.push_completion(id.0);

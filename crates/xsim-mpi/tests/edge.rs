@@ -422,3 +422,49 @@ fn tree_collectives_agree_with_linear_but_run_faster() {
         linear.sim.timing.max
     );
 }
+
+#[test]
+fn racing_aborts_activate_at_earliest_time() {
+    // Two ranks initiate MPI_Abort almost simultaneously — both before
+    // either initiator's notices can arrive — so every other rank
+    // receives two abort notices. Activation must use the *earliest*
+    // abort time everywhere: the blocked receiver is released at it and
+    // the computing rank aborts at the end of its compute phase.
+    let t0 = SimTime::from_millis(10);
+    let t1 = t0 + SimTime::from_nanos(500); // within the notify delay
+    let report = builder(4)
+        .run_app(move |mpi| async move {
+            match mpi.rank {
+                0 => {
+                    mpi.sleep(t0).await;
+                    return Err(mpi.abort());
+                }
+                1 => {
+                    mpi.sleep(t1).await;
+                    return Err(mpi.abort());
+                }
+                2 => {
+                    // Blocked on a message that never comes.
+                    let _ = mpi.recv(mpi.world(), Some(3), Some(0)).await;
+                }
+                _ => {
+                    // Computes past both abort times.
+                    mpi.sleep(SimTime::from_millis(50)).await;
+                }
+            }
+            mpi.finalize();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.sim.exit, ExitKind::Aborted);
+    assert_eq!(report.sim.abort_time, Some(t0), "earliest abort wins");
+    assert_eq!(
+        report.sim.final_clocks[2], t0,
+        "blocked rank released at the earliest abort time, not the later"
+    );
+    assert_eq!(
+        report.sim.final_clocks[3],
+        SimTime::from_millis(50),
+        "computing rank aborts at the end of its phase"
+    );
+}

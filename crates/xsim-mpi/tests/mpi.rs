@@ -555,3 +555,113 @@ fn test_reports_completion_without_blocking() {
         .unwrap();
     assert_eq!(report.sim.exit, ExitKind::Completed);
 }
+
+#[test]
+fn ulfm_shrink_with_two_dead_ranks() {
+    // Shrink must union failure knowledge across survivors: two ranks
+    // die, rank 0 detects one of them, yet the shrunk communicator
+    // excludes both.
+    let report = builder(6)
+        .errhandler(ErrHandler::Return)
+        .inject_failure(2, SimTime::from_millis(100))
+        .inject_failure(4, SimTime::from_millis(100))
+        .run_app(|mpi| async move {
+            let w = mpi.world();
+            if mpi.rank == 2 || mpi.rank == 4 {
+                mpi.sleep(SimTime::from_secs(5)).await; // dies at the end
+                mpi.finalize();
+                return Ok(());
+            }
+            if mpi.rank == 0 {
+                let err = mpi.recv(w, Some(2), Some(0)).await.unwrap_err();
+                assert!(matches!(err, MpiError::ProcFailed { .. }));
+                mpi.comm_revoke(w)?;
+            } else {
+                let r = mpi.recv(w, Some(0), Some(77)).await;
+                assert!(matches!(r, Err(MpiError::Revoked)), "got {r:?}");
+            }
+            let shrunk = mpi.comm_shrink(w).await?;
+            assert_eq!(mpi.comm_size(shrunk)?, 4);
+            let s = mpi.allreduce_f64(shrunk, &[1.0], ReduceOp::Sum).await?;
+            assert_eq!(s, vec![4.0]);
+            mpi.finalize();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.sim.exit, ExitKind::FailedOnly);
+    assert_eq!(report.sim.failures.len(), 2);
+}
+
+#[test]
+fn ulfm_shrink_survives_inflight_revoke() {
+    // Ranks 1 and 2 enter comm_shrink before the revoke notice reaches
+    // them: they are blocked in the shrink protocol's system traffic
+    // when the revoke lands. Per ULFM, shrink must still complete —
+    // recovery traffic is exempt from the revoke release.
+    let report = builder(4)
+        .errhandler(ErrHandler::Return)
+        .inject_failure(3, SimTime::from_millis(100))
+        .run_app(|mpi| async move {
+            let w = mpi.world();
+            if mpi.rank == 3 {
+                mpi.sleep(SimTime::from_secs(5)).await; // dies at the end
+                mpi.finalize();
+                return Ok(());
+            }
+            // All survivors detect the failure independently (identical
+            // timeout), so ranks 1 and 2 enter shrink right away and
+            // block on the root's reply — the root (rank 0) stalls,
+            // then revokes, so its notices land while they are blocked.
+            let err = mpi.recv(w, Some(3), Some(0)).await.unwrap_err();
+            assert!(matches!(err, MpiError::ProcFailed { .. }));
+            if mpi.rank == 0 {
+                mpi.sleep(SimTime::from_millis(1)).await;
+                mpi.comm_revoke(w)?;
+            }
+            let shrunk = mpi
+                .comm_shrink(w)
+                .await
+                .expect("shrink must survive an in-flight revoke");
+            assert_eq!(mpi.comm_size(shrunk)?, 3);
+            mpi.barrier(shrunk).await?;
+            // The world communicator stays revoked for everyone.
+            let r = mpi.recv(w, Some(0), Some(5)).await;
+            assert!(matches!(r, Err(MpiError::Revoked)), "got {r:?}");
+            mpi.finalize();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.sim.exit, ExitKind::FailedOnly);
+    assert_eq!(report.sim.failures.len(), 1, "only the injected failure");
+}
+
+#[test]
+fn ulfm_shrink_skips_dead_root() {
+    // The lowest-ranked member — the default shrink root — is the dead
+    // one; survivors must agree on rank 1 as the root instead.
+    let report = builder(4)
+        .errhandler(ErrHandler::Return)
+        .inject_failure(0, SimTime::from_millis(50))
+        .run_app(|mpi| async move {
+            let w = mpi.world();
+            if mpi.rank == 0 {
+                mpi.sleep(SimTime::from_secs(5)).await; // dies at the end
+                mpi.finalize();
+                return Ok(());
+            }
+            // Every survivor detects the root's failure first, so all
+            // pick the same live root for the shrink protocol.
+            let err = mpi.recv(w, Some(0), Some(0)).await.unwrap_err();
+            assert!(matches!(err, MpiError::ProcFailed { .. }));
+            let shrunk = mpi.comm_shrink(w).await?;
+            assert_eq!(mpi.comm_size(shrunk)?, 3);
+            // Rank order is preserved in the shrunk communicator.
+            assert_eq!(mpi.comm_rank(shrunk)?, mpi.rank - 1);
+            let s = mpi.allreduce_f64(shrunk, &[1.0], ReduceOp::Sum).await?;
+            assert_eq!(s, vec![3.0]);
+            mpi.finalize();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.sim.exit, ExitKind::FailedOnly);
+}

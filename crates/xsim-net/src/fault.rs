@@ -1,0 +1,335 @@
+//! Link/switch fault state and fault-aware minimal routing.
+//!
+//! The paper's resilience facility stops at MPI *process* failures
+//! (§IV); this module extends the fault surface to the interconnect
+//! itself, following the *Fault Diagnosis* / *Reconfiguration* patterns
+//! of the HPC resilience pattern language: a [`LinkStateTable`] records
+//! which physical links are down or degraded over which virtual-time
+//! windows, and [`LinkStateTable::route`] computes the minimal live
+//! route around dead links — inflating the hop count, carrying the worst
+//! bandwidth factor along the chosen path, and detecting true partitions.
+//!
+//! Link-level faults are modeled on the neighbor-addressable topologies
+//! ([`Topology::Torus3d`] and [`Topology::Mesh3d`], via
+//! [`Topology::torus_neighbors`]); on other topologies the table is
+//! inert and routing falls back to the fault-free [`Topology::hops`].
+
+use crate::topology::{NodeId, Topology};
+use std::collections::{HashMap, VecDeque};
+use xsim_core::SimTime;
+
+/// How a faulty network component behaves while the fault is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFaultKind {
+    /// The component is dead: no traffic passes.
+    Down,
+    /// The component passes traffic at `factor` × nominal bandwidth
+    /// (`0 < factor ≤ 1`; non-positive factors are treated as down).
+    Degraded(f64),
+}
+
+/// One fault on a link or switch, active over `[from, until)`
+/// (`until = None` means permanent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFault {
+    /// The node the fault is anchored at.
+    pub node: NodeId,
+    /// Direction index into [`Topology::torus_neighbors`] order
+    /// (0..6 = +x, −x, +y, −y, +z, −z) selecting one link, or `None`
+    /// for the node's switch — which takes down/degrades all six links.
+    pub dir: Option<usize>,
+    /// Down or degraded.
+    pub kind: LinkFaultKind,
+    /// Activation time.
+    pub from: SimTime,
+    /// Repair time (exclusive); `None` = never repaired.
+    pub until: Option<SimTime>,
+}
+
+/// The live-ness result of routing between two nodes at some time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteInfo {
+    /// Hop count of the minimal live route (≥ the fault-free hop count).
+    pub hops: u32,
+    /// Worst (minimum) bandwidth factor along the chosen route; `1.0`
+    /// when no degraded link is crossed.
+    pub min_factor: f64,
+}
+
+/// One fault window on a canonical (undirected) link.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    kind: LinkFaultKind,
+    from: SimTime,
+    until: Option<SimTime>,
+}
+
+impl Window {
+    fn active(&self, t: SimTime) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// Fault state of every physical link of a topology, queryable at any
+/// virtual time. The table is immutable during a run (it is built from
+/// the fault schedule up front), so both engines see identical state —
+/// determinism is preserved by construction.
+#[derive(Debug, Clone)]
+pub struct LinkStateTable {
+    topo: Topology,
+    /// Canonical undirected link `(min node, max node)` → fault windows.
+    faults: HashMap<(NodeId, NodeId), Vec<Window>>,
+    /// Earliest activation over all windows (fast reject before it).
+    earliest: SimTime,
+}
+
+impl LinkStateTable {
+    /// An empty (all-links-healthy) table over a topology.
+    pub fn new(topo: Topology) -> Self {
+        LinkStateTable {
+            topo,
+            faults: HashMap::new(),
+            earliest: SimTime::MAX,
+        }
+    }
+
+    /// The topology the table is defined over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of links carrying at least one fault window.
+    pub fn faulty_links(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Add a fault. Switch faults (`dir = None`) expand into faults on
+    /// all of the node's links; directions that do not exist (mesh
+    /// edges, non-neighbor topologies) are ignored.
+    pub fn add(&mut self, f: NetFault) {
+        let neighbors = self.topo.torus_neighbors(f.node);
+        let dirs: Vec<usize> = match f.dir {
+            Some(d) => vec![d],
+            None => (0..6).collect(),
+        };
+        for d in dirs {
+            let Some(Some(nb)) = neighbors.get(d).copied() else {
+                continue;
+            };
+            let key = (f.node.min(nb), f.node.max(nb));
+            self.faults.entry(key).or_default().push(Window {
+                kind: f.kind,
+                from: f.from,
+                until: f.until,
+            });
+            self.earliest = self.earliest.min(f.from);
+        }
+    }
+
+    /// Whether any fault window is active at `t`.
+    pub fn any_active(&self, t: SimTime) -> bool {
+        if t < self.earliest {
+            return false;
+        }
+        self.faults
+            .values()
+            .any(|ws| ws.iter().any(|w| w.active(t)))
+    }
+
+    /// Bandwidth factor of the link between adjacent nodes `a` and `b`
+    /// at time `t`: `None` when the link is down, `Some(1.0)` when
+    /// healthy, `Some(f < 1.0)` when degraded. Overlapping degradations
+    /// combine to the worst factor.
+    pub fn link_factor(&self, a: NodeId, b: NodeId, t: SimTime) -> Option<f64> {
+        let Some(ws) = self.faults.get(&(a.min(b), a.max(b))) else {
+            return Some(1.0);
+        };
+        let mut factor = 1.0f64;
+        for w in ws.iter().filter(|w| w.active(t)) {
+            match w.kind {
+                LinkFaultKind::Down => return None,
+                LinkFaultKind::Degraded(f) if f <= 0.0 => return None,
+                LinkFaultKind::Degraded(f) => factor = factor.min(f),
+            }
+        }
+        Some(factor)
+    }
+
+    /// Fault-aware minimal route between two nodes at time `t`: a BFS
+    /// over live links (fixed neighbor order → deterministic route
+    /// choice), returning `None` when the fault set partitions the
+    /// network between `src` and `dst`.
+    ///
+    /// With no fault active at `t` — or on a topology without
+    /// neighbor-level link addressing — this reduces to the fault-free
+    /// [`Topology::hops`].
+    pub fn route(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<RouteInfo> {
+        if src == dst {
+            return Some(RouteInfo {
+                hops: 0,
+                min_factor: 1.0,
+            });
+        }
+        let addressable = matches!(
+            self.topo,
+            Topology::Torus3d { .. } | Topology::Mesh3d { .. }
+        );
+        if !addressable || !self.any_active(t) {
+            return Some(RouteInfo {
+                hops: self.topo.hops(src, dst),
+                min_factor: 1.0,
+            });
+        }
+        let n = self.topo.nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        dist[src] = 0;
+        parent[src] = src;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        'bfs: while let Some(u) = q.pop_front() {
+            for v in self.topo.torus_neighbors(u).into_iter().flatten() {
+                if dist[v] != u32::MAX || self.link_factor(u, v, t).is_none() {
+                    continue;
+                }
+                dist[v] = dist[u] + 1;
+                parent[v] = u;
+                if v == dst {
+                    break 'bfs;
+                }
+                q.push_back(v);
+            }
+        }
+        if dist[dst] == u32::MAX {
+            return None; // partition between src and dst
+        }
+        let mut min_factor = 1.0f64;
+        let mut v = dst;
+        while v != src {
+            let u = parent[v];
+            min_factor = min_factor.min(self.link_factor(u, v, t).unwrap_or(1.0));
+            v = u;
+        }
+        Some(RouteInfo {
+            hops: dist[dst],
+            min_factor,
+        })
+    }
+
+    /// Fault-aware hop count (`None` = partitioned) — the live-state
+    /// counterpart of [`Topology::hops`].
+    pub fn hops_at(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<u32> {
+        self.route(src, dst, t).map(|r| r.hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Topology {
+        Topology::Torus3d { dims: [4, 4, 4] }
+    }
+
+    fn down(node: NodeId, dir: usize) -> NetFault {
+        NetFault {
+            node,
+            dir: Some(dir),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        }
+    }
+
+    #[test]
+    fn healthy_table_matches_fault_free_hops() {
+        let t = torus();
+        let tbl = LinkStateTable::new(t.clone());
+        for (a, b) in [(0, 1), (0, 63), (5, 40)] {
+            assert_eq!(tbl.hops_at(a, b, SimTime::ZERO), Some(t.hops(a, b)));
+        }
+        assert!(!tbl.any_active(SimTime::MAX));
+    }
+
+    #[test]
+    fn dead_link_inflates_hops() {
+        let t = torus();
+        let (a, b) = (t.node_at([0, 0, 0]), t.node_at([1, 0, 0]));
+        let mut tbl = LinkStateTable::new(t.clone());
+        tbl.add(down(a, 0)); // +x link a→b
+        let r = tbl.route(a, b, SimTime::ZERO).unwrap();
+        assert!(r.hops > t.hops(a, b), "reroute must inflate hops");
+        assert_eq!(r.hops, 3, "detour over an adjacent row: 3 hops");
+        // The link is bidirectional: b→a is equally affected.
+        assert_eq!(tbl.hops_at(b, a, SimTime::ZERO), Some(3));
+    }
+
+    #[test]
+    fn transient_fault_heals() {
+        let t = torus();
+        let (a, b) = (t.node_at([0, 0, 0]), t.node_at([1, 0, 0]));
+        let mut tbl = LinkStateTable::new(t.clone());
+        tbl.add(NetFault {
+            node: a,
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::from_secs(1),
+            until: Some(SimTime::from_secs(2)),
+        });
+        assert_eq!(tbl.hops_at(a, b, SimTime::ZERO), Some(1), "before");
+        assert_eq!(tbl.hops_at(a, b, SimTime::from_secs(1)), Some(3), "during");
+        assert_eq!(tbl.hops_at(a, b, SimTime::from_secs(2)), Some(1), "healed");
+    }
+
+    #[test]
+    fn switch_fault_partitions_node() {
+        let t = torus();
+        let mut tbl = LinkStateTable::new(t.clone());
+        let victim = t.node_at([2, 2, 2]);
+        tbl.add(NetFault {
+            node: victim,
+            dir: None,
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        assert_eq!(tbl.route(0, victim, SimTime::ZERO), None, "isolated");
+        // Other pairs still route (possibly around the dead switch).
+        assert!(tbl.route(0, t.node_at([3, 3, 3]), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn degraded_link_reports_worst_factor() {
+        let t = torus();
+        let (a, b) = (t.node_at([0, 0, 0]), t.node_at([1, 0, 0]));
+        let mut tbl = LinkStateTable::new(t.clone());
+        tbl.add(NetFault {
+            node: a,
+            dir: Some(0),
+            kind: LinkFaultKind::Degraded(0.25),
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let r = tbl.route(a, b, SimTime::ZERO).unwrap();
+        assert_eq!(r.hops, 1, "degraded links still route minimally");
+        assert_eq!(r.min_factor, 0.25);
+        // Non-positive factors behave as down.
+        tbl.add(NetFault {
+            node: a,
+            dir: Some(0),
+            kind: LinkFaultKind::Degraded(0.0),
+            from: SimTime::ZERO,
+            until: None,
+        });
+        assert_eq!(tbl.link_factor(a, b, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn non_addressable_topology_is_inert() {
+        let t = Topology::FullyConnected { nodes: 8 };
+        let mut tbl = LinkStateTable::new(t);
+        tbl.add(down(0, 0)); // no neighbors → ignored
+        assert_eq!(tbl.faulty_links(), 0);
+        assert_eq!(tbl.hops_at(0, 5, SimTime::ZERO), Some(1));
+    }
+}

@@ -14,9 +14,15 @@
 //! * [`NetModel`] — end-to-end point-to-point timing with **eager vs.
 //!   rendezvous** protocol selection at a configurable threshold (the
 //!   paper's configuration: 256 KiB, §V-C).
+//! * [`LinkStateTable`] — link/switch fault state over
+//!   [`Topology::torus_neighbors`] with fault-aware minimal routing:
+//!   reroute around dead links (hop inflation), degraded-link bandwidth,
+//!   and true-partition detection ([`NetModel::p2p_at`]).
 
+pub mod fault;
 pub mod model;
 pub mod topology;
 
-pub use model::{Link, NetClass, NetModel, P2pTiming};
+pub use fault::{LinkFaultKind, LinkStateTable, NetFault, RouteInfo};
+pub use model::{Link, NetClass, NetModel, P2pRoute, P2pTiming};
 pub use topology::{NodeId, Topology};

@@ -1,6 +1,8 @@
 //! End-to-end communication timing and failure-detection timeouts.
 
+use crate::fault::LinkStateTable;
 use crate::topology::Topology;
+use std::sync::Arc;
 use xsim_core::{Rank, SimTime};
 
 /// The hierarchical network class a message travels on (paper §IV-C:
@@ -132,6 +134,23 @@ pub struct NetModel {
     /// no contention; see the ablations harness for its effect on
     /// linear collectives.
     pub serialize_recv: bool,
+    /// Live link/switch fault state, consulted by [`NetModel::p2p_at`]
+    /// for fault-aware routing. `None` (the default) keeps the
+    /// fault-free fast path.
+    pub faults: Option<Arc<LinkStateTable>>,
+}
+
+/// Fault-aware point-to-point route: the timing plus how far it departs
+/// from the fault-free route (for observability accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct P2pRoute {
+    /// End-to-end timing over the live route.
+    pub timing: P2pTiming,
+    /// Hops taken beyond the fault-free minimal route (reroute
+    /// inflation).
+    pub extra_hops: u32,
+    /// Serialization time added by degraded-link bandwidth.
+    pub degraded_extra: SimTime,
 }
 
 impl NetModel {
@@ -149,7 +168,16 @@ impl NetModel {
             send_overhead: SimTime::from_micros(1),
             recv_overhead: SimTime::from_micros(1),
             serialize_recv: false,
+            faults: None,
         }
+    }
+
+    /// Attach a link/switch fault table (see [`LinkStateTable`]);
+    /// [`NetModel::p2p_at`] then routes around dead links and charges
+    /// degraded-link bandwidth.
+    pub fn with_faults(mut self, table: LinkStateTable) -> Self {
+        self.faults = Some(Arc::new(table));
+        self
     }
 
     /// A small fully-connected machine, convenient for tests and
@@ -209,6 +237,56 @@ impl NetModel {
             eager: bytes <= self.eager_threshold,
             class,
         }
+    }
+
+    /// Fault-aware point-to-point timing at virtual time `now`: like
+    /// [`NetModel::p2p`], but system-class routes consult the live link
+    /// state — dead links are routed around (hop-count inflation feeds
+    /// the latency term), degraded links stretch the transfer time, and
+    /// `None` is returned when the fault set partitions the network
+    /// between the two ranks.
+    ///
+    /// Rerouting never shortens a route and degradation never raises
+    /// bandwidth, so `min_latency()` remains a valid conservative
+    /// lookahead under any fault schedule.
+    pub fn p2p_at(&self, src: Rank, dst: Rank, bytes: usize, now: SimTime) -> Option<P2pRoute> {
+        let base = self.p2p(src, dst, bytes);
+        let clean = P2pRoute {
+            timing: base,
+            extra_hops: 0,
+            degraded_extra: SimTime::ZERO,
+        };
+        let Some(table) = &self.faults else {
+            return Some(clean);
+        };
+        if base.class != NetClass::System {
+            return Some(clean); // intra-node traffic never crosses the fabric
+        }
+        let (a, b) = (self.node_of(src), self.node_of(dst));
+        let route = table.route(a, b, now)?;
+        let base_hops = self.topology.hops(a, b).max(1);
+        let hops = route.hops.max(1);
+        let link = self.link(NetClass::System);
+        let latency = SimTime(link.latency.as_nanos().saturating_mul(hops as u64));
+        let transfer = if route.min_factor < 1.0 {
+            Link {
+                bandwidth_bps: link.bandwidth_bps * route.min_factor,
+                ..*link
+            }
+            .transfer_time(bytes)
+        } else {
+            base.transfer
+        };
+        Some(P2pRoute {
+            timing: P2pTiming {
+                latency,
+                transfer,
+                eager: base.eager,
+                class: base.class,
+            },
+            extra_hops: hops.saturating_sub(base_hops),
+            degraded_extra: transfer - base.transfer,
+        })
     }
 
     /// The minimum virtual delay of any cross-rank message: the
@@ -321,6 +399,79 @@ mod tests {
     fn zero_byte_transfer_is_free() {
         let l = Link::paper_system();
         assert_eq!(l.transfer_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn p2p_at_without_faults_matches_p2p() {
+        let m = NetModel::paper_machine();
+        let r = m
+            .p2p_at(Rank(0), Rank(9), 4096, SimTime::from_secs(3))
+            .unwrap();
+        assert_eq!(r.timing, m.p2p(Rank(0), Rank(9), 4096));
+        assert_eq!(r.extra_hops, 0);
+        assert_eq!(r.degraded_extra, SimTime::ZERO);
+    }
+
+    #[test]
+    fn p2p_at_reroutes_and_degrades() {
+        use crate::fault::{LinkFaultKind, LinkStateTable, NetFault};
+        let mut m = NetModel::paper_machine();
+        m.topology = Topology::Torus3d { dims: [4, 4, 4] };
+        let t = m.topology.clone();
+        let (a, b) = (t.node_at([0, 0, 0]), t.node_at([1, 0, 0]));
+        let mut tbl = LinkStateTable::new(t);
+        tbl.add(NetFault {
+            node: a,
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let m = m.with_faults(tbl);
+        let r = m
+            .p2p_at(Rank(a as u32), Rank(b as u32), 0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.extra_hops, 2, "1-hop route detours to 3 hops");
+        assert_eq!(r.timing.latency, SimTime::from_micros(3));
+
+        // Degraded link: transfer stretches by 1/factor.
+        let mut m2 = NetModel::paper_machine();
+        m2.topology = Topology::Torus3d { dims: [4, 4, 4] };
+        let mut tbl = LinkStateTable::new(m2.topology.clone());
+        tbl.add(NetFault {
+            node: a,
+            dir: Some(0),
+            kind: LinkFaultKind::Degraded(0.5),
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let m2 = m2.with_faults(tbl);
+        let base = m2.p2p(Rank(a as u32), Rank(b as u32), 32_000);
+        let r = m2
+            .p2p_at(Rank(a as u32), Rank(b as u32), 32_000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.timing.transfer, SimTime::from_micros(2), "half bandwidth");
+        assert_eq!(r.degraded_extra, r.timing.transfer - base.transfer);
+    }
+
+    #[test]
+    fn p2p_at_detects_partition() {
+        use crate::fault::{LinkFaultKind, LinkStateTable, NetFault};
+        let mut m = NetModel::paper_machine();
+        m.topology = Topology::Torus3d { dims: [4, 4, 4] };
+        let victim = m.topology.node_at([2, 2, 2]);
+        let mut tbl = LinkStateTable::new(m.topology.clone());
+        tbl.add(NetFault {
+            node: victim,
+            dir: None,
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let m = m.with_faults(tbl);
+        assert!(m
+            .p2p_at(Rank(0), Rank(victim as u32), 64, SimTime::ZERO)
+            .is_none());
     }
 
     #[test]

@@ -93,3 +93,132 @@ proptest! {
         prop_assert!(t.latency > SimTime::ZERO);
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-aware routing properties (link/switch faults on the torus).
+
+use xsim_net::{LinkFaultKind, LinkStateTable, NetFault};
+
+fn arb_torus() -> impl Strategy<Value = Topology> {
+    (2usize..=4, 2usize..=4, 2usize..=4).prop_map(|(a, b, c)| Topology::Torus3d { dims: [a, b, c] })
+}
+
+/// Seeds for up to 8 dead links; `node` seeds are reduced mod the node
+/// count in the test body (keeps the strategy independent of the
+/// generated topology — no `prop_flat_map` needed).
+fn arb_link_fault_seeds() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..4096, 0usize..6), 0..8)
+}
+
+/// Independent connectivity/distance oracle: plain BFS over links the
+/// table reports live, with none of the routing code's shortcuts.
+fn oracle_dist(tbl: &LinkStateTable, src: usize, dst: usize, t: SimTime) -> Option<u32> {
+    let topo = tbl.topology();
+    let mut dist = vec![None; topo.nodes()];
+    dist[src] = Some(0u32);
+    let mut q = std::collections::VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for v in topo.torus_neighbors(u).into_iter().flatten() {
+            if dist[v].is_none() && tbl.link_factor(u, v, t).is_some() {
+                dist[v] = Some(dist[u].unwrap() + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist[dst]
+}
+
+proptest! {
+    /// One dead link never partitions a torus (every dimension is a
+    /// ring): the reroute is finite, at least as long as the fault-free
+    /// route, and the single-link detour costs at most two extra hops.
+    #[test]
+    fn single_dead_link_reroutes_finite_and_no_shorter(
+        topo in arb_torus(), node_s: usize, dir in 0usize..6, a_s: usize, b_s: usize,
+    ) {
+        let n = topo.nodes();
+        let (node, a, b) = (node_s % n, a_s % n, b_s % n);
+        let mut tbl = LinkStateTable::new(topo.clone());
+        tbl.add(NetFault {
+            node,
+            dir: Some(dir),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        let r = tbl.route(a, b, SimTime::ZERO)
+            .expect("a single dead link cannot partition a torus");
+        let base = topo.hops(a, b);
+        prop_assert!(r.hops >= base, "reroute never shortens: {} < {base}", r.hops);
+        prop_assert!(r.hops <= base + 2, "one-link detour is at most +2 hops");
+    }
+
+    /// Against an independent BFS oracle: whenever the fault set leaves
+    /// `a` and `b` connected, `route()` finds exactly the minimal live
+    /// distance (≥ the fault-free hops); whenever it cuts them apart,
+    /// partition detection fires (`None`) — never a bogus finite route.
+    #[test]
+    fn routing_matches_oracle_under_arbitrary_cuts(
+        topo in arb_torus(), seeds in arb_link_fault_seeds(), a_s: usize, b_s: usize,
+    ) {
+        let n = topo.nodes();
+        let (a, b) = (a_s % n, b_s % n);
+        let mut tbl = LinkStateTable::new(topo.clone());
+        for (node_s, dir) in seeds {
+            tbl.add(NetFault {
+                node: node_s % n,
+                dir: Some(dir),
+                kind: LinkFaultKind::Down,
+                from: SimTime::ZERO,
+                until: None,
+            });
+        }
+        let got = tbl.route(a, b, SimTime::ZERO).map(|r| r.hops);
+        let want = oracle_dist(&tbl, a, b, SimTime::ZERO);
+        prop_assert_eq!(got, want, "route() must agree with the BFS oracle");
+        if let Some(h) = got {
+            prop_assert!(h >= topo.hops(a, b), "live route no shorter than fault-free");
+        }
+    }
+
+    /// A switch fault isolates its node completely: routing to or from
+    /// it reports a partition from every other node, at the table and
+    /// at the model level (`p2p_at` → `None`), while traffic between
+    /// the remaining nodes still routes.
+    #[test]
+    fn switch_cut_fires_partition_detection(
+        topo in arb_torus(), victim_s: usize, other_s: usize,
+    ) {
+        let n = topo.nodes();
+        prop_assume!(n > 2);
+        let victim = victim_s % n;
+        let other = other_s % n;
+        prop_assume!(other != victim);
+        let fault = NetFault {
+            node: victim,
+            dir: None, // the node's switch: all its links
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        };
+        let mut tbl = LinkStateTable::new(topo.clone());
+        tbl.add(fault);
+        prop_assert_eq!(tbl.route(other, victim, SimTime::ZERO), None, "unreachable");
+        prop_assert_eq!(tbl.route(victim, other, SimTime::ZERO), None, "symmetric");
+        // Survivors still reach each other around the dead switch.
+        let third = (0..n).find(|x| *x != victim && *x != other).expect("n > 2");
+        prop_assert!(tbl.route(other, third, SimTime::ZERO).is_some());
+
+        // Model level: paper_machine maps rank i to node i 1:1.
+        let mut m = NetModel::paper_machine();
+        m.topology = topo;
+        let m = m.with_faults(tbl);
+        prop_assert!(
+            m.p2p_at(Rank(other as u32), Rank(victim as u32), 64, SimTime::ZERO).is_none(),
+            "p2p_at must surface the partition"
+        );
+        prop_assert!(
+            m.p2p_at(Rank(other as u32), Rank(third as u32), 64, SimTime::ZERO).is_some()
+        );
+    }
+}

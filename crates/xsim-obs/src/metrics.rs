@@ -136,6 +136,19 @@ pub mod ids {
     pub const FAULT_ACTIVATIONS: usize = 22;
     /// Soft-error bit flips delivered to applications.
     pub const FAULT_SOFT_FLIPS: usize = 23;
+    /// Messages dropped by lossy links (every failed transmission
+    /// attempt counts once).
+    pub const NET_DROPS: usize = 24;
+    /// Retransmissions performed by the resilient transport.
+    pub const NET_RETRANSMITS: usize = 25;
+    /// Virtual time spent in retransmission backoff.
+    pub const NET_BACKOFF_NS: usize = 26;
+    /// Extra hops taken by fault-aware rerouting around dead links.
+    pub const NET_REROUTED_HOPS: usize = 27;
+    /// Extra transfer time attributable to degraded-link bandwidth.
+    pub const NET_DEGRADED_NS: usize = 28;
+    /// Messages discarded because a lossy link corrupted the payload.
+    pub const NET_CORRUPT_DROPS: usize = 29;
 }
 
 /// The metric schema, indexed by [`ids`].
@@ -280,6 +293,42 @@ pub const SPEC: &[MetricDef] = &[
     },
     MetricDef {
         name: "fault.soft_flips",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.drops",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.retransmits",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.backoff_ns",
+        kind: MetricKind::Counter,
+        unit: Unit::Nanos,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.rerouted_hops",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.degraded_ns",
+        kind: MetricKind::Counter,
+        unit: Unit::Nanos,
+        buckets: &[],
+    },
+    MetricDef {
+        name: "net.corrupt_drops",
         kind: MetricKind::Counter,
         unit: Unit::Count,
         buckets: &[],
@@ -465,11 +514,14 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::FAULT_SOFT_FLIPS + 1);
+        assert_eq!(SPEC.len(), ids::NET_CORRUPT_DROPS + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
         assert_eq!(SPEC[ids::FAULT_SOFT_FLIPS].name, "fault.soft_flips");
+        assert_eq!(SPEC[ids::NET_DROPS].name, "net.drops");
+        assert_eq!(SPEC[ids::NET_BACKOFF_NS].unit, Unit::Nanos);
+        assert_eq!(SPEC[ids::NET_CORRUPT_DROPS].name, "net.corrupt_drops");
         // Names are unique.
         let mut names: Vec<_> = SPEC.iter().map(|d| d.name).collect();
         names.sort_unstable();

@@ -12,13 +12,15 @@
 //! * [`proc`] — processor model (work → virtual time, slowdown factors).
 //! * [`net`] — network model (torus/mesh/hypercube topologies,
 //!   eager/rendezvous protocols, per-network failure-detection
-//!   timeouts).
+//!   timeouts, fault-aware routing around dead/degraded links).
 //! * [`fs`] — simulated parallel file system (shared across restarts,
 //!   two-phase writes, I/O fault injection).
 //! * [`mpi`] — simulated MPI layer (p2p, linear collectives, error
-//!   handlers, failure injection/detection/notification, abort, ULFM).
-//! * [`fault`] — failure schedules, MTTF-driven random injection,
-//!   bit-flip campaigns, soft-error injection.
+//!   handlers, failure injection/detection/notification, abort, ULFM,
+//!   lossy transport with retransmission + backoff).
+//! * [`fault`] — failure schedules, component-addressed network fault
+//!   schedules (links/switches), MTTF-driven random injection, bit-flip
+//!   campaigns, soft-error injection.
 //! * [`ckpt`] — checksummed application-level checkpoint/restart and the
 //!   run→abort→restart orchestrator with continuous virtual timing.
 //! * [`obs`] — observability: metrics registry (counters, gauges,
@@ -63,12 +65,15 @@ pub use xsim_proc as proc;
 pub mod prelude {
     pub use xsim_ckpt::{CampaignResult, Checkpoint, CheckpointManager, Orchestrator};
     pub use xsim_core::{ExitKind, Rank, SimError, SimReport, SimTime};
-    pub use xsim_fault::{FailureModel, FailureSchedule};
+    pub use xsim_fault::{FailureModel, FailureSchedule, FaultSchedule, NetReliability};
     pub use xsim_fs::{FsModel, FsStore};
     pub use xsim_mpi::{
-        Comm, Detector, ErrHandler, MpiCtx, MpiError, ReduceOp, RunReport, SimBuilder,
+        Comm, Detector, ErrHandler, LossyTransport, MpiCtx, MpiError, ReduceOp, RunReport,
+        SimBuilder,
     };
-    pub use xsim_net::{Link, NetClass, NetModel, Topology};
+    pub use xsim_net::{
+        Link, LinkFaultKind, LinkStateTable, NetClass, NetFault, NetModel, Topology,
+    };
     pub use xsim_obs::{ids as metric_ids, ObsReport};
     pub use xsim_proc::{ProcModel, Work};
 }
