@@ -80,6 +80,34 @@ fn bench_parallel_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// Worker scaling at fixed problem sizes: events/sec for 1/2/4/8
+/// workers at 4k and 64k VPs. The headline number for the parallel
+/// engine overhaul; `scalability --bench-engine` emits the same sweep
+/// as `BENCH_engine.json` for machine consumption.
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/worker_scaling");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [4096usize, 65536] {
+        let slices = if n <= 4096 { 50u32 } else { 8 };
+        let events = (n as u64) * (slices as u64 + 1);
+        g.throughput(Throughput::Elements(events));
+        for workers in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{n}vp"), workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        engine::run(cfg(n, workers), Arc::new(sleepy(slices)), &no_setup).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_spawn_teardown(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/spawn_teardown");
     g.warm_up_time(std::time::Duration::from_millis(500));
@@ -99,6 +127,7 @@ criterion_group!(
     bench_event_throughput,
     bench_context_switches,
     bench_parallel_engine,
+    bench_worker_scaling,
     bench_spawn_teardown
 );
 criterion_main!(benches);

@@ -7,7 +7,12 @@
 //! ```text
 //! cargo run --release -p xsim-bench --bin scalability [--workers N]
 //! ```
+//!
+//! With `--bench-engine` it instead runs the parallel-engine worker
+//! scaling sweep (4k and 64k VPs × 1/2/4/8 workers) and writes the
+//! measured events/s and speedups to `BENCH_engine.json`.
 
+use std::fmt::Write as _;
 use xsim_apps::kernels;
 use xsim_bench::{apply_env_faults, parse_flags, peak_rss_kib, write_profile};
 use xsim_core::SimTime;
@@ -26,8 +31,74 @@ fn torus_for(n: usize) -> Topology {
     }
 }
 
+/// The `--bench-engine` sweep: a bulk-synchronous compute/allreduce
+/// workload at 4k and 64k VPs across 1/2/4/8 workers, reported as
+/// events/s and speedup relative to the 1-worker parallel engine. Every
+/// number in the JSON is a live measurement from this host.
+fn bench_engine() {
+    let mut json = String::new();
+    json.push_str("{\"schema\":\"xsim-bench-engine-v1\"");
+    let _ = write!(
+        json,
+        ",\"workload\":\"compute_allreduce(rounds=4,elems=64,compute=1ms)\",\"host_cpus\":{}",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
+    json.push_str(",\"results\":[");
+    let mut first = true;
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>8}",
+        "vps", "workers", "wall", "events", "events/s", "speedup"
+    );
+    for n in [4096usize, 65536] {
+        let mut net = NetModel::paper_machine();
+        net.topology = torus_for(n);
+        let mut base_evps = 0.0f64;
+        for workers in [1usize, 2, 4, 8] {
+            let t = std::time::Instant::now();
+            let report = SimBuilder::new(n)
+                .net(net.clone())
+                .workers(workers)
+                .engine(xsim_mpi::EngineKind::Parallel)
+                .run(kernels::compute_allreduce(4, 64, SimTime::from_millis(1)))
+                .expect("bench-engine run");
+            let wall = t.elapsed();
+            let evps = report.sim.events_processed as f64 / wall.as_secs_f64();
+            if workers == 1 {
+                base_evps = evps;
+            }
+            let speedup = evps / base_evps;
+            println!(
+                "{:>10} {:>8} {:>10.2?} {:>12} {:>12.0} {:>8.2}",
+                n, workers, wall, report.sim.events_processed, evps, speedup
+            );
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "{{\"vps\":{},\"workers\":{},\"events\":{},\"wall_us\":{},\
+                 \"events_per_sec\":{:.0},\"speedup_vs_1\":{:.3}}}",
+                n,
+                workers,
+                report.sim.events_processed,
+                wall.as_micros(),
+                evps,
+                speedup
+            );
+        }
+    }
+    json.push_str("]}");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}
+
 fn main() {
     let flags = parse_flags();
+    if flags.bench_engine {
+        bench_engine();
+        return;
+    }
     // When profiling, trace+meter the smallest ring run (the larger ones
     // would produce multi-GB traces).
     let mut profile = flags.profile.clone();

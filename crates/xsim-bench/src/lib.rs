@@ -141,6 +141,7 @@ pub fn parse_flags() -> Flags {
         match a.as_str() {
             "--quick" => flags.scale = Scale::Quick,
             "--net-faults" => flags.net_faults = true,
+            "--bench-engine" => flags.bench_engine = true,
             "--workers" => {
                 flags.workers = args
                     .next()
@@ -155,8 +156,8 @@ pub fn parse_flags() -> Flags {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}; known: --quick --net-faults --workers N --seed N \
-                     --profile out.json"
+                    "unknown flag {other}; known: --quick --net-faults --bench-engine \
+                     --workers N --seed N --profile out.json"
                 );
                 std::process::exit(2);
             }
@@ -172,6 +173,9 @@ pub struct Flags {
     pub scale: Scale,
     /// Run the network-fault sweep sections (`--net-faults`).
     pub net_faults: bool,
+    /// Run the parallel-engine scaling sweep and emit
+    /// `BENCH_engine.json` (`--bench-engine`, `scalability` bin only).
+    pub bench_engine: bool,
     /// Native worker threads.
     pub workers: usize,
     /// Master seed.
@@ -186,6 +190,7 @@ impl Default for Flags {
         Flags {
             scale: Scale::Paper,
             net_faults: false,
+            bench_engine: false,
             workers: 1,
             // Default chosen so both MTTF groups of Table II experience
             // failures in their first run (any seed is valid; the runs

@@ -2,15 +2,79 @@
 
 use crate::error::SimError;
 use crate::time::SimTime;
+use std::sync::Arc;
+
+/// Which event-processing engine executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Pick automatically: the parallel engine when `workers > 1` and
+    /// there is more than one rank to shard, the sequential engine
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Force the reference sequential engine regardless of `workers`.
+    Sequential,
+    /// Force the conservative windowed parallel engine, even with a
+    /// single worker thread (useful for differential testing: the
+    /// parallel code path with no actual concurrency).
+    Parallel,
+}
+
+/// A dynamic lookahead source queried once per synchronization window.
+///
+/// The closure maps the window's lower bound (the LBTS) to a *lower
+/// bound on the virtual delay of any cross-shard event scheduled at or
+/// after that time*. The engine takes the max of this value and the
+/// static `CoreConfig::lookahead`, so a provider can only ever widen
+/// windows — conservativeness of the static floor is preserved by
+/// construction, and a provider that returns garbage below the floor is
+/// simply ignored.
+#[derive(Clone)]
+pub struct LookaheadProvider(Arc<dyn Fn(SimTime) -> SimTime + Send + Sync>);
+
+impl LookaheadProvider {
+    /// Wrap a dynamic lookahead function.
+    pub fn new(f: impl Fn(SimTime) -> SimTime + Send + Sync + 'static) -> Self {
+        LookaheadProvider(Arc::new(f))
+    }
+
+    /// A provider that always returns `la` (mostly for tests).
+    pub fn constant(la: SimTime) -> Self {
+        LookaheadProvider::new(move |_| la)
+    }
+
+    /// Query the provider at window lower bound `lbts`.
+    #[inline]
+    pub fn at(&self, lbts: SimTime) -> SimTime {
+        (self.0)(lbts)
+    }
+}
+
+impl std::fmt::Debug for LookaheadProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LookaheadProvider(..)")
+    }
+}
 
 /// Core engine configuration, independent of any machine model.
 #[derive(Debug, Clone)]
 pub struct CoreConfig {
     /// Number of simulated virtual processes (MPI ranks).
     pub n_ranks: usize,
-    /// Number of native worker threads. `1` selects the reference
-    /// sequential engine; `>1` the conservative windowed parallel engine.
+    /// Number of native worker threads used by the parallel engine.
     pub workers: usize,
+    /// Which engine runs the simulation (see [`EngineKind`]).
+    pub engine: EngineKind,
+    /// Shard oversubscription factor: the parallel engine partitions
+    /// ranks into up to `workers * shard_factor` shards so the
+    /// work-stealing pool has more tasks than threads and an idle worker
+    /// can drain a hot shard's window instead of waiting at the barrier.
+    /// `1` restores one shard per worker.
+    pub shard_factor: usize,
+    /// Capacity hint (in events) for the per-(src,dst) cross-shard
+    /// exchange buffers. `0` lets the buffers grow organically; they are
+    /// recycled between windows either way.
+    pub batch_hint: usize,
     /// Initial virtual clock of every VP. Nonzero when a run continues the
     /// virtual timeline of a previous aborted run (paper §IV-E:
     /// "continuous virtual timing after an abort and a following restart").
@@ -19,8 +83,13 @@ pub struct CoreConfig {
     pub seed: u64,
     /// Conservative lookahead: the minimum virtual delay of any
     /// cross-rank event. Set by the machine layer from the minimum link
-    /// latency. Must be positive when `workers > 1`.
+    /// latency. Must be positive when the parallel engine can run.
     pub lookahead: SimTime,
+    /// Optional dynamic lookahead, queried once per window; the engine
+    /// uses `max(lookahead, lookahead_fn(lbts))`, so this can only widen
+    /// windows (fewer global synchronizations), never narrow them below
+    /// the static floor.
+    pub lookahead_fn: Option<LookaheadProvider>,
     /// If `true`, a scheduled process failure also activates while the VP
     /// is blocked on communication (an *eager* extension). The paper's
     /// strict semantics (`false`) activate a failure only when the VP's
@@ -41,9 +110,13 @@ impl Default for CoreConfig {
         CoreConfig {
             n_ranks: 1,
             workers: 1,
+            engine: EngineKind::Auto,
+            shard_factor: 4,
+            batch_hint: 0,
             start_time: SimTime::ZERO,
             seed: 0x5eed_cafe_f00d_beef,
             lookahead: SimTime::from_nanos(1),
+            lookahead_fn: None,
             fail_blocked: false,
             max_events: u64::MAX,
             verbose: false,
@@ -60,7 +133,9 @@ impl CoreConfig {
         if self.workers == 0 {
             return Err(SimError::Config("workers must be > 0".into()));
         }
-        if self.workers > 1 && self.lookahead == SimTime::ZERO {
+        if (self.workers > 1 || self.engine == EngineKind::Parallel)
+            && self.lookahead == SimTime::ZERO
+        {
             return Err(SimError::Config(
                 "parallel engine requires positive lookahead".into(),
             ));
@@ -68,16 +143,27 @@ impl CoreConfig {
         Ok(())
     }
 
-    /// Number of ranks each worker shard owns (the last shard may own
-    /// fewer). Contiguous block partitioning keeps neighbour communication
-    /// of typical decompositions shard-local.
-    pub fn ranks_per_shard(&self) -> usize {
-        self.n_ranks.div_ceil(self.workers.min(self.n_ranks))
+    /// Whether this configuration selects the parallel engine.
+    pub fn use_parallel(&self) -> bool {
+        match self.engine {
+            EngineKind::Sequential => false,
+            EngineKind::Parallel => true,
+            EngineKind::Auto => self.workers > 1 && self.n_ranks > 1,
+        }
     }
 
-    /// Effective number of shards (never more than ranks).
+    /// Number of ranks each shard owns (the last shard may own fewer).
+    /// Contiguous block partitioning keeps neighbour communication of
+    /// typical decompositions shard-local.
+    pub fn ranks_per_shard(&self) -> usize {
+        self.n_ranks.div_ceil(self.n_shards())
+    }
+
+    /// Effective number of shards: never more than ranks, up to
+    /// `workers * shard_factor` so the stealing pool is oversubscribed.
     pub fn n_shards(&self) -> usize {
-        self.workers.min(self.n_ranks)
+        self.n_ranks
+            .min(self.workers.max(1) * self.shard_factor.max(1))
     }
 
     /// The shard owning `rank`.
@@ -114,6 +200,49 @@ mod tests {
         };
         c.lookahead = SimTime::ZERO;
         assert!(c.validate().is_err());
+        // Forced-parallel with one worker still needs lookahead.
+        let mut c = CoreConfig {
+            workers: 1,
+            n_ranks: 8,
+            engine: EngineKind::Parallel,
+            ..Default::default()
+        };
+        c.lookahead = SimTime::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_kind_selection() {
+        let c = CoreConfig {
+            n_ranks: 8,
+            workers: 4,
+            ..Default::default()
+        };
+        assert!(c.use_parallel());
+        let c = CoreConfig {
+            workers: 1,
+            ..c.clone()
+        };
+        assert!(!c.use_parallel());
+        let c = CoreConfig {
+            engine: EngineKind::Parallel,
+            ..c.clone()
+        };
+        assert!(c.use_parallel());
+        let c = CoreConfig {
+            engine: EngineKind::Sequential,
+            workers: 4,
+            ..c.clone()
+        };
+        assert!(!c.use_parallel());
+        // Auto never goes parallel for a single rank.
+        let c = CoreConfig {
+            engine: EngineKind::Auto,
+            n_ranks: 1,
+            workers: 4,
+            ..c.clone()
+        };
+        assert!(!c.use_parallel());
     }
 
     #[test]
@@ -121,12 +250,29 @@ mod tests {
         let c = CoreConfig {
             n_ranks: 10,
             workers: 4,
+            shard_factor: 1,
             ..Default::default()
         };
         assert_eq!(c.ranks_per_shard(), 3);
         assert_eq!(c.n_shards(), 4);
         let shards: Vec<usize> = (0..10).map(|r| c.shard_of(r)).collect();
         assert_eq!(shards, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn oversubscription_creates_more_shards_than_workers() {
+        let c = CoreConfig {
+            n_ranks: 64,
+            workers: 4,
+            ..Default::default()
+        };
+        // shard_factor defaults to 4 → 16 shards of 4 ranks each.
+        assert_eq!(c.n_shards(), 16);
+        assert_eq!(c.ranks_per_shard(), 4);
+        // Every rank maps to a valid shard, in nondecreasing order.
+        let shards: Vec<usize> = (0..64).map(|r| c.shard_of(r)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*shards.last().unwrap(), 15);
     }
 
     #[test]
@@ -139,5 +285,13 @@ mod tests {
         assert_eq!(c.n_shards(), 2);
         assert_eq!(c.shard_of(0), 0);
         assert_eq!(c.shard_of(1), 1);
+    }
+
+    #[test]
+    fn lookahead_provider_is_cloneable_and_callable() {
+        let p = LookaheadProvider::constant(SimTime::from_nanos(5));
+        let q = p.clone();
+        assert_eq!(p.at(SimTime::ZERO), SimTime::from_nanos(5));
+        assert_eq!(q.at(SimTime::from_secs(1)), SimTime::from_nanos(5));
     }
 }

@@ -81,6 +81,17 @@ pub fn now() -> SimTime {
     with_kernel(|k, r| k.vp(r).clock)
 }
 
+/// The static lookahead floor of the current run: the minimum virtual
+/// delay any cross-rank event must carry. Programs scheduling raw
+/// cross-rank events (tests, custom services) can use this to stay
+/// inside the parallel engine's conservative window contract. Note the
+/// engine may *widen* windows beyond this floor per window (adaptive
+/// lookahead) — delays of at least `max(lookahead, notify_delay)` as
+/// configured by the machine layer are always safe.
+pub fn lookahead() -> SimTime {
+    with_kernel(|k, _| k.cfg.lookahead)
+}
+
 /// Block the current VP until the kernel wakes it. Returns the VP clock
 /// at wake time. `class` controls which wakeups apply (see
 /// [`WaitClass`]); `desc` labels the wait for deadlock diagnostics.

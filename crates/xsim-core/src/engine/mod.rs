@@ -6,11 +6,11 @@
 //! * [`run_sequential`] processes events in global key order — the
 //!   reference implementation.
 //! * [`run_parallel`] is a conservative, window-synchronized PDES over
-//!   native worker threads, the shared-memory analogue of xSim running as
-//!   a parallel MPI program with conservative synchronization (paper
-//!   §II-A, §IV-A).
+//!   a work-stealing pool of native worker threads, the shared-memory
+//!   analogue of xSim running as a parallel MPI program with
+//!   conservative synchronization (paper §II-A, §IV-A).
 //!
-//! [`run`] dispatches on `cfg.workers`.
+//! [`run`] dispatches on `cfg.use_parallel()` (engine kind + workers).
 
 mod parallel;
 mod sequential;
@@ -21,7 +21,7 @@ pub use sequential::run_sequential;
 use crate::config::CoreConfig;
 use crate::error::{SimError, Termination};
 use crate::kernel::Kernel;
-use crate::report::{ExitKind, ShardStats, SimReport, VpTimingStats};
+use crate::report::{EngineProfile, ExitKind, ShardStats, SimReport, VpTimingStats};
 use crate::time::SimTime;
 use crate::vp::VpProgram;
 use std::sync::Arc;
@@ -30,14 +30,15 @@ use std::sync::Arc;
 /// injections before the event loop starts. Runs once per shard.
 pub type SetupFn<'a> = &'a (dyn Fn(&mut Kernel) + Sync);
 
-/// Run a simulation with the engine selected by `cfg.workers`.
+/// Run a simulation with the engine selected by `cfg.engine` /
+/// `cfg.workers` (see [`CoreConfig::use_parallel`]).
 pub fn run(
     cfg: CoreConfig,
     program: Arc<dyn VpProgram>,
     setup: SetupFn<'_>,
 ) -> Result<SimReport, SimError> {
     cfg.validate()?;
-    if cfg.n_shards() > 1 {
+    if cfg.use_parallel() {
         run_parallel(cfg, program, setup)
     } else {
         run_sequential(cfg, program, setup)
@@ -48,6 +49,7 @@ pub fn run(
 pub(crate) fn assemble_report(
     cfg: &CoreConfig,
     shards: Vec<Kernel>,
+    profile: EngineProfile,
     wall: std::time::Duration,
 ) -> Result<SimReport, SimError> {
     let mut blocked = Vec::new();
@@ -118,6 +120,7 @@ pub(crate) fn assemble_report(
         events_processed,
         context_switches,
         shards: shard_stats,
+        profile,
         wall,
     };
     if cfg.verbose {

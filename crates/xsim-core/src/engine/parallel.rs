@@ -1,45 +1,106 @@
-//! Conservative windowed parallel engine.
+//! Conservative windowed parallel engine over a work-stealing pool.
 //!
-//! The rank space is partitioned into contiguous shards, one per worker
-//! thread. Execution proceeds in global windows `[W, W + lookahead)`
-//! where `W` is the minimum pending event time across shards (the lower
-//! bound on timestamps). Because every cross-rank event carries at least
-//! `lookahead` of virtual delay, all events that can fire inside the
-//! window are already present in their shard's queue when the window
-//! opens — the classic conservative synchronous-window PDES argument.
+//! The rank space is partitioned into contiguous shards — more shards
+//! than workers when `cfg.shard_factor > 1`, so the pool is
+//! oversubscribed and an idle worker picks up a hot shard's window task
+//! instead of spinning at the barrier. Execution proceeds in global
+//! windows; within each window every shard is handled exactly once per
+//! phase by whichever worker claims its ticket:
 //!
-//! Determinism: each shard processes its events in ascending key order,
-//! and `Call` actions only mutate destination-rank state, so per-rank
-//! event histories — and therefore all virtual times — are identical to
-//! the sequential engine's.
+//! * **Phase A (ingest + publish):** drain the shard's inbound exchange
+//!   slots into its queue and publish its next pending event time.
+//! * **Barrier 1**, after which every worker independently computes the
+//!   two smallest published times (`min1`, `min2`) and the window's
+//!   effective lookahead `la = max(cfg.lookahead, lookahead_fn(min1))`.
+//! * **Phase B (execute + flush):** process the shard's events below
+//!   the window bound (or under the clamped exclusive drain described
+//!   below), then swap its outbox lanes into the exchange slots
+//!   (batched delivery, buffers recycled between windows).
+//! * **Barrier 2**, then the next window.
+//!
+//! ## Window-bound safety
+//!
+//! Every shard's (exclusive) bound is the classic conservative
+//! `min1 + la`: every cross-shard event carries at least `la` of
+//! virtual delay, so all events below that bound are already queued
+//! when the window opens. Extending the bound any further is unsound in
+//! general — a shard processing past `min1 + la` can emit a request
+//! whose *reply* arrives with only `2·la` of accumulated delay, i.e.
+//! inside the region it already drained.
+//!
+//! One sound extension remains: when exactly one shard has pending work
+//! (`min2 == MAX`) it drains with an unbounded window, *clamped as it
+//! goes* to `outbox_min + la`, where `outbox_min` is the earliest
+//! cross-shard event it has emitted so far this window. Until it emits,
+//! nothing outside can ever act; once it emits an event arriving at
+//! `A`, any causal echo crosses shards twice and returns no earlier
+//! than `A + la`. An isolated shard (or a single-shard run) therefore
+//! still drains to completion without per-event synchronization.
+//!
+//! ## Determinism
+//!
+//! Each shard processes its events in ascending `(time, dst, src, seq)`
+//! key order; keys are globally unique and heap order is insertion-order
+//! independent, so batching the exchange cannot reorder anything.
+//! `Call` actions only mutate destination-rank state, and per-source
+//! `seq` counters advance on the source's owning shard alone —
+//! per-rank event histories, and therefore all virtual-time results,
+//! are identical to the sequential engine's for any worker or shard
+//! count. Only the [`EngineProfile`] execution-shape counters (windows,
+//! steals, barrier waits, batch sizes) vary.
 
 use super::{assemble_report, SetupFn};
 use crate::config::CoreConfig;
 use crate::error::SimError;
 use crate::event::EventRec;
 use crate::kernel::Kernel;
-use crate::report::SimReport;
+use crate::report::{EngineProfile, SimReport};
 use crate::time::SimTime;
 use crate::vp::VpProgram;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 /// Shared synchronization state of one parallel run.
 struct SyncState {
-    /// Per-shard next pending event time (u64::MAX = idle).
+    /// Per-shard next pending event time (u64::MAX = idle). Written in
+    /// Phase A, read between the barriers — stable when read.
     next_times: Vec<AtomicU64>,
-    /// Per-shard inbound cross-shard events.
-    inboxes: Vec<Mutex<Vec<EventRec>>>,
-    /// Window barrier.
+    /// Exchange slot matrix: `slots[dst][src]` carries the batch of
+    /// events shard `src` produced for shard `dst` this window. Phase B
+    /// swaps a full outbox lane in; Phase A drains it (keeping the
+    /// allocation), so the two buffers per (src,dst) pair ping-pong and
+    /// steady-state traffic allocates nothing.
+    slots: Vec<Vec<Mutex<Vec<EventRec>>>>,
+    /// Window barrier (two crossings per window).
     barrier: Barrier,
+    /// Monotonic ticket counter driving the work-stealing pool: ticket
+    /// `t` denotes shard `t % n_shards` of phase `(t / n_shards) % 2`.
+    ticket: AtomicUsize,
     /// Aggregate processed-event counter for the budget check.
     events: AtomicU64,
     /// Set when any shard trips the event budget.
     over_budget: AtomicBool,
+    /// Merged execution profile (workers fold theirs in on exit).
+    profile: Mutex<EngineProfile>,
 }
 
-/// Run the simulation across `cfg.n_shards()` worker threads.
+/// Claim the next ticket below `end`; returns the claimed ticket.
+#[inline]
+fn claim(ticket: &AtomicUsize, end: usize) -> Option<usize> {
+    ticket
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+            if t < end {
+                Some(t + 1)
+            } else {
+                None
+            }
+        })
+        .ok()
+}
+
+/// Run the simulation across up to `cfg.workers` worker threads pulling
+/// from `cfg.n_shards()` shard tasks.
 pub fn run_parallel(
     cfg: CoreConfig,
     program: Arc<dyn VpProgram>,
@@ -50,34 +111,41 @@ pub fn run_parallel(
     let cfg = Arc::new(cfg);
     let n_shards = cfg.n_shards();
     let per = cfg.ranks_per_shard();
+    let nthreads = cfg.workers.min(n_shards).max(1);
 
     let sync = SyncState {
         next_times: (0..n_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
-        inboxes: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
-        barrier: Barrier::new(n_shards),
+        slots: (0..n_shards)
+            .map(|_| {
+                (0..n_shards)
+                    .map(|_| Mutex::new(Vec::with_capacity(cfg.batch_hint)))
+                    .collect()
+            })
+            .collect(),
+        barrier: Barrier::new(nthreads),
+        ticket: AtomicUsize::new(0),
         events: AtomicU64::new(0),
         over_budget: AtomicBool::new(false),
+        profile: Mutex::new(EngineProfile::default()),
     };
 
-    let shards: Vec<Mutex<Option<Kernel>>> = (0..n_shards)
+    let kernels: Vec<Mutex<Kernel>> = (0..n_shards)
         .map(|s| {
             let lo = s * per;
             let hi = ((s + 1) * per).min(cfg.n_ranks);
             let mut k = Kernel::new(s, cfg.clone(), lo..hi, program.clone());
             k.schedule_spawns();
-            Mutex::new(Some(k))
+            Mutex::new(k)
         })
         .collect();
 
     std::thread::scope(|scope| {
-        for slot in shards.iter() {
+        for worker_id in 0..nthreads {
             let sync = &sync;
             let cfg = &cfg;
+            let kernels = &kernels;
             scope.spawn(move || {
-                let mut k = slot.lock().take().expect("shard taken once");
-                setup(&mut k);
-                worker_loop(&mut k, sync, cfg);
-                *slot.lock() = Some(k);
+                worker_loop(worker_id, nthreads, kernels, sync, cfg, setup);
             });
         }
     });
@@ -88,67 +156,185 @@ pub fn run_parallel(
         });
     }
 
-    let kernels: Vec<Kernel> = shards
-        .into_iter()
-        .map(|m| m.into_inner().expect("shard returned"))
-        .collect();
-    assemble_report(&cfg, kernels, start.elapsed())
+    let kernels: Vec<Kernel> = kernels.into_iter().map(|m| m.into_inner()).collect();
+    let profile = *sync.profile.lock();
+    assemble_report(&cfg, kernels, profile, start.elapsed())
 }
 
-fn worker_loop(k: &mut Kernel, sync: &SyncState, cfg: &CoreConfig) {
-    let lookahead = cfg.lookahead;
+/// The shared (exclusive) window bound, `min1 + la` (see module docs).
+/// The sole-active-shard drain extends past this under its dynamic
+/// `outbox_min + la` clamp, applied in the execution loop itself.
+#[inline]
+fn window_bound(min1: u64, la: u64) -> u64 {
+    min1.saturating_add(la)
+}
+
+fn worker_loop(
+    worker_id: usize,
+    nthreads: usize,
+    kernels: &[Mutex<Kernel>],
+    sync: &SyncState,
+    cfg: &CoreConfig,
+    setup: SetupFn<'_>,
+) {
+    let n_shards = kernels.len();
+    let budget_limited = cfg.max_events != u64::MAX;
+    let mut prof = EngineProfile::default();
+    let mut window: usize = 0;
+
     loop {
-        // Ingest cross-shard events delivered during the previous window.
-        {
-            let mut inbox = sync.inboxes[k.shard_id].lock();
-            for ev in inbox.drain(..) {
-                debug_assert!(k.owns(ev.key.dst));
-                k.queue.push(ev);
+        // ---- Phase A: ingest exchanged batches, publish lower bounds.
+        let phase_a_end = (2 * window + 1) * n_shards;
+        while let Some(t) = claim(&sync.ticket, phase_a_end) {
+            let s = t % n_shards;
+            let mut k = kernels[s].lock();
+            if window == 0 {
+                // First touch of this shard: install services and
+                // scheduled injections before publishing its bound.
+                setup(&mut k);
+            }
+            for src in 0..n_shards {
+                let mut slot = sync.slots[s][src].lock();
+                if slot.is_empty() {
+                    continue;
+                }
+                prof.batched_events += slot.len() as u64;
+                prof.batch_max_events = prof.batch_max_events.max(slot.len() as u64);
+                // drain() keeps the slot's capacity: the buffer returns
+                // to the arena for the producer to swap into next window.
+                for ev in slot.drain(..) {
+                    debug_assert!(k.owns(ev.key.dst), "exchange misrouted an event");
+                    k.queue.push(ev);
+                }
+            }
+            k.note_queue_depth();
+            let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
+            sync.next_times[s].store(mine, Ordering::SeqCst);
+        }
+        let wait = std::time::Instant::now();
+        sync.barrier.wait();
+        prof.barrier_wait_ns += wait.elapsed().as_nanos() as u64;
+
+        // ---- Between barriers: every worker independently derives the
+        // same window parameters from the (now stable) published bounds.
+        let mut min1 = u64::MAX;
+        let mut min2 = u64::MAX;
+        let mut min1_count = 0u32;
+        for t in &sync.next_times {
+            let v = t.load(Ordering::SeqCst);
+            if v < min1 {
+                min2 = min1;
+                min1 = v;
+                min1_count = 1;
+            } else if v == min1 {
+                min1_count = min1_count.saturating_add(1);
+            } else if v < min2 {
+                min2 = v;
             }
         }
-        k.note_queue_depth();
-
-        // Publish our lower bound and agree on the global one.
-        let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
-        sync.next_times[k.shard_id].store(mine, Ordering::SeqCst);
-        sync.barrier.wait();
-        let lbts = sync
-            .next_times
-            .iter()
-            .map(|t| t.load(Ordering::SeqCst))
-            .min()
-            .unwrap_or(u64::MAX);
-        if lbts == u64::MAX || sync.over_budget.load(Ordering::Relaxed) {
-            // No shard has work (or the budget tripped): simulation over.
-            // One final barrier so nobody re-enters the inbox phase while
-            // another shard still flushes (there is nothing to flush —
-            // outboxes are drained before the previous barrier).
+        if min1 == u64::MAX || sync.over_budget.load(Ordering::Relaxed) {
+            // No shard has pending work (or the budget tripped during the
+            // previous window): the run is over, consistently for every
+            // worker — over_budget is only written before barrier 2, so
+            // all workers observe the same value here.
             break;
         }
+        prof.windows += 1;
+        let la = match &cfg.lookahead_fn {
+            // The provider can only widen the window: the static floor
+            // stays a correct minimum cross-shard delay.
+            Some(f) => cfg.lookahead.max(f.at(SimTime(min1))).as_nanos(),
+            None => cfg.lookahead.as_nanos(),
+        };
 
-        // Process the window [lbts, lbts + lookahead).
-        let bound = SimTime(lbts).saturating_add(lookahead);
-        let mut processed = 0u64;
-        while let Some(ev) = k.queue.pop_before(bound) {
-            k.process(ev);
-            processed += 1;
+        // ---- Phase B: execute each shard's window, flush its batches.
+        let phase_b_end = (2 * window + 2) * n_shards;
+        while let Some(t) = claim(&sync.ticket, phase_b_end) {
+            let s = t % n_shards;
+            if s % nthreads != worker_id {
+                prof.steals += 1;
+            }
+            let mut k = kernels[s].lock();
+            let next = sync.next_times[s].load(Ordering::SeqCst);
+            // The sole shard with pending work drains unboundedly, under
+            // the dynamic emission clamp below; everyone else stops at
+            // the shared conservative bound.
+            let exclusive = min2 == u64::MAX && next == min1 && min1_count == 1;
+            let bound = if exclusive {
+                u64::MAX
+            } else {
+                window_bound(min1, la)
+            };
+            let base = if budget_limited {
+                sync.events.load(Ordering::Relaxed)
+            } else {
+                0
+            };
+            let mut processed = 0u64;
+            loop {
+                // Re-clamped every iteration: processing may emit new
+                // cross-shard events, and a later emission can carry an
+                // *earlier* arrival time. The clamp never cuts below the
+                // current processing point (an emission from time `t`
+                // arrives ≥ `t + la`, putting the clamp ≥ `t + 2·la`).
+                let eff = bound.min(k.outbox_min.saturating_add(la));
+                let Some(ev) = k.queue.pop_before(SimTime(eff)) else {
+                    break;
+                };
+                debug_assert!(
+                    ev.key.time.as_nanos() >= min1,
+                    "event below the window's lower bound"
+                );
+                k.process(ev);
+                processed += 1;
+                // In-loop check: in an unclamped exclusive drain a
+                // runaway program would otherwise never leave this loop.
+                if budget_limited
+                    && (base + processed > cfg.max_events
+                        || sync.over_budget.load(Ordering::Relaxed))
+                {
+                    sync.over_budget.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            let total = sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
+            if total > cfg.max_events {
+                sync.over_budget.store(true, Ordering::Relaxed);
+            }
+            for dst in 0..n_shards {
+                if k.outbox[dst].is_empty() {
+                    continue;
+                }
+                #[cfg(debug_assertions)]
+                {
+                    // No receiver processed past the shared bound this
+                    // window, so every exchanged event must land at or
+                    // beyond it.
+                    let dst_bound = window_bound(min1, la);
+                    for ev in &k.outbox[dst] {
+                        debug_assert!(
+                            ev.key.time.as_nanos() >= dst_bound,
+                            "cross-shard event below the receiver's window bound: \
+                             {:?} < {:?}",
+                            ev.key.time,
+                            SimTime(dst_bound)
+                        );
+                    }
+                }
+                let mut slot = sync.slots[dst][s].lock();
+                debug_assert!(slot.is_empty(), "exchange slot not drained in Phase A");
+                // Swap the filled lane in and take the drained slot
+                // buffer back as next window's lane: zero-copy handoff,
+                // capacities recycled.
+                std::mem::swap(&mut *slot, &mut k.outbox[dst]);
+            }
+            k.outbox_min = u64::MAX;
         }
-        let total = sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
-        if total > cfg.max_events {
-            sync.over_budget.store(true, Ordering::Relaxed);
-        }
-
-        // Flush cross-shard events, then make them visible to everyone
-        // before the next inbox ingest.
-        for (dst_shard, ev) in k.outbox.drain(..) {
-            debug_assert!(
-                ev.key.time >= bound,
-                "cross-shard event below lookahead window: {:?} < {:?}",
-                ev.key.time,
-                bound
-            );
-            sync.inboxes[dst_shard].lock().push(ev);
-        }
+        let wait = std::time::Instant::now();
         sync.barrier.wait();
+        prof.barrier_wait_ns += wait.elapsed().as_nanos() as u64;
+        window += 1;
     }
+
+    sync.profile.lock().merge(&prof);
 }

@@ -4,7 +4,7 @@ use super::{assemble_report, SetupFn};
 use crate::config::CoreConfig;
 use crate::error::SimError;
 use crate::kernel::Kernel;
-use crate::report::SimReport;
+use crate::report::{EngineProfile, SimReport};
 use crate::vp::VpProgram;
 use std::sync::Arc;
 
@@ -30,7 +30,15 @@ pub fn run_sequential(
             });
         }
     }
-    debug_assert!(kernel.outbox.is_empty(), "sequential engine owns all ranks");
+    debug_assert!(
+        kernel.outbox.iter().all(|lane| lane.is_empty()),
+        "sequential engine owns all ranks"
+    );
 
-    assemble_report(&cfg, vec![kernel], start.elapsed())
+    assemble_report(
+        &cfg,
+        vec![kernel],
+        EngineProfile::default(),
+        start.elapsed(),
+    )
 }

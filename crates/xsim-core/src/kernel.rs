@@ -57,8 +57,17 @@ pub struct Kernel {
     services: ServiceMap,
     /// Per-rank event sequence counters (indexed by rank).
     seq: Vec<u64>,
-    /// Events destined for other shards, flushed at window boundaries.
-    pub(crate) outbox: Vec<(usize, EventRec)>,
+    /// Events destined for other shards, one batch lane per destination
+    /// shard, flushed wholesale at window boundaries. Lane buffers are
+    /// recycled through the engine's exchange-slot arena, so steady-state
+    /// cross-shard traffic allocates nothing per event.
+    pub(crate) outbox: Vec<Vec<EventRec>>,
+    /// Earliest event time currently in any outbox lane (u64::MAX when
+    /// all lanes are empty). The parallel engine clamps an exclusive
+    /// drain (sole-active-shard window) to `outbox_min + lookahead`: a
+    /// causal echo of an emission crosses shards twice, so nothing can
+    /// come back before that. Reset by the engine after each flush.
+    pub(crate) outbox_min: u64,
     /// Program factory used by spawn events.
     program: Arc<dyn VpProgram>,
     /// Hooks to run when a VP fails.
@@ -95,6 +104,10 @@ impl Kernel {
         for r in owned.clone() {
             vps[r] = Some(Vp::new(Rank::new(r), cfg.start_time));
         }
+        let n_shards = cfg.n_shards();
+        let outbox = (0..n_shards)
+            .map(|_| Vec::with_capacity(cfg.batch_hint))
+            .collect();
         Kernel {
             shard_id,
             cfg,
@@ -103,7 +116,8 @@ impl Kernel {
             queue: EventQueue::new(),
             services: ServiceMap::new(),
             seq: vec![0; n],
-            outbox: Vec::new(),
+            outbox,
+            outbox_min: u64::MAX,
             program,
             fail_hooks: Vec::new(),
             shutdown_hooks: Vec::new(),
@@ -260,7 +274,8 @@ impl Kernel {
         } else {
             debug_assert!(self.cfg.n_shards() > 1, "single shard must own every rank");
             let dst_shard = self.cfg.shard_of(dst.idx());
-            self.outbox.push((dst_shard, rec));
+            self.outbox_min = self.outbox_min.min(time.as_nanos());
+            self.outbox[dst_shard].push(rec);
         }
     }
 

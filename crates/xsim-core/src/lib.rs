@@ -53,13 +53,13 @@ pub mod service;
 pub mod time;
 pub mod vp;
 
-pub use config::CoreConfig;
+pub use config::{CoreConfig, EngineKind, LookaheadProvider};
 pub use ctx::{block, current_rank, now, sleep, with_kernel, yield_now};
 pub use error::SimError;
 pub use event::{Action, EventKey, EventRec};
 pub use kernel::Kernel;
 pub use rank::Rank;
-pub use report::{ExitKind, ShardStats, SimReport, VpTimingStats};
+pub use report::{EngineProfile, ExitKind, ShardStats, SimReport, VpTimingStats};
 pub use rng::DetRng;
 pub use service::Service;
 pub use time::SimTime;

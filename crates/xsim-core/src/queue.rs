@@ -4,6 +4,21 @@
 //! [`EventKey`] order and (b) exposes the next
 //! event time, which the conservative parallel engine needs to compute the
 //! global lower bound on timestamps (LBTS).
+//!
+//! ## Tie-breaking audit
+//!
+//! Same-timestamp events are totally ordered by the remaining key
+//! fields, compared lexicographically: `(time, dst, src, seq)` —
+//! destination rank first, then source rank, then the source's
+//! per-rank sequence number. The `seq` counter advances only on the
+//! source rank's *owning* shard (event attribution), so the full key is
+//! globally unique and its order is a property of the simulation alone,
+//! never of sharding: no shard count, worker count, exchange batching
+//! or heap insertion order can reorder ties. `BinaryHeap` itself is
+//! not insertion-order stable — determinism comes entirely from key
+//! uniqueness, which `queue_order_is_push_order_independent` below and
+//! the colliding-timestamp regression tests in `tests/engine.rs`
+//! pin down.
 
 use crate::event::{EventKey, EventRec};
 use crate::time::SimTime;
@@ -142,6 +157,58 @@ mod tests {
         assert!(q.pop_before(SimTime(10)).is_none(), "bound is exclusive");
         assert_eq!(q.pop_before(SimTime(11)).unwrap().key.time, SimTime(10));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn colliding_timestamps_order_by_dst_src_seq() {
+        // All four events collide at t=9; the pop order must be the
+        // lexicographic (dst, src, seq) order regardless of push order.
+        let mut q = EventQueue::new();
+        q.push(ev(9, 1, 0, 4));
+        q.push(ev(9, 0, 1, 7));
+        q.push(ev(9, 0, 0, 2));
+        q.push(ev(9, 1, 0, 3));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.key.dst.0, e.key.src.0, e.key.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 0, 2), (0, 1, 7), (1, 0, 3), (1, 0, 4)]);
+    }
+
+    #[test]
+    fn queue_order_is_push_order_independent() {
+        // Exchange batching changes insertion order between engines;
+        // the pop sequence must not. Try several permutations of the
+        // same colliding-key set.
+        let evs = [
+            ev(5, 0, 0, 1),
+            ev(5, 0, 2, 1),
+            ev(5, 1, 0, 2),
+            ev(3, 2, 1, 9),
+            ev(5, 0, 0, 3),
+        ];
+        let reference: Vec<EventKey> = {
+            let mut q = EventQueue::new();
+            for e in &evs {
+                q.push(clone_ev(e));
+            }
+            std::iter::from_fn(|| q.pop()).map(|e| e.key).collect()
+        };
+        let perms: [[usize; 5]; 3] = [[4, 3, 2, 1, 0], [1, 3, 0, 4, 2], [2, 0, 4, 1, 3]];
+        for p in &perms {
+            let mut q = EventQueue::new();
+            for &i in p {
+                q.push(clone_ev(&evs[i]));
+            }
+            let got: Vec<EventKey> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+            assert_eq!(got, reference, "permutation {p:?} reordered ties");
+        }
+    }
+
+    fn clone_ev(e: &EventRec) -> EventRec {
+        EventRec {
+            key: e.key,
+            action: Action::Spawn,
+        }
     }
 
     #[test]

@@ -72,6 +72,43 @@ pub struct ShardStats {
     pub queue_depth_hwm: u64,
 }
 
+/// Parallel-engine execution profile: how the run was carved into
+/// synchronization windows and how the work-stealing pool behaved.
+///
+/// All of these are *execution-shape* counters, not simulation results:
+/// they vary with worker count, shard count and wall-clock scheduling
+/// (barrier waits and steals are inherently timing-dependent), so they
+/// are excluded from determinism comparisons. The sequential engine
+/// reports all-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineProfile {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Shard window-tasks executed by a worker other than the shard's
+    /// home worker (work-stealing pool activity).
+    pub steals: u64,
+    /// Total wall-clock nanoseconds all workers spent waiting at window
+    /// barriers.
+    pub barrier_wait_ns: u64,
+    /// Cross-shard events delivered through the batched exchange.
+    pub batched_events: u64,
+    /// Largest single (src,dst) exchange batch observed.
+    pub batch_max_events: u64,
+}
+
+impl EngineProfile {
+    /// Fold another worker's profile into this one. Window counts are
+    /// per-worker views of the same global window sequence, so they
+    /// merge by max; the rest are true totals.
+    pub fn merge(&mut self, other: &EngineProfile) {
+        self.windows = self.windows.max(other.windows);
+        self.steals += other.steals;
+        self.barrier_wait_ns += other.barrier_wait_ns;
+        self.batched_events += other.batched_events;
+        self.batch_max_events = self.batch_max_events.max(other.batch_max_events);
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug)]
 pub struct SimReport {
@@ -94,6 +131,9 @@ pub struct SimReport {
     pub context_switches: u64,
     /// Per-shard engine counters (one entry for the sequential engine).
     pub shards: Vec<ShardStats>,
+    /// Parallel-engine execution profile (all-zero for sequential runs).
+    /// Execution-shape only — never part of determinism comparisons.
+    pub profile: EngineProfile,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
 }
@@ -156,7 +196,14 @@ impl SimReport {
                 Some(t) => format!("; aborted at {t}"),
                 None => String::new(),
             }
-        )
+        ) + &if self.profile.windows > 0 {
+            format!(
+                "; {} window(s), {} steal(s)",
+                self.profile.windows, self.profile.steals
+            )
+        } else {
+            String::new()
+        }
     }
 }
 
@@ -179,6 +226,30 @@ mod tests {
         assert_eq!(s.min, SimTime::ZERO);
         assert_eq!(s.max, SimTime::ZERO);
         assert_eq!(s.avg, SimTime::ZERO);
+    }
+
+    #[test]
+    fn profile_merge_semantics() {
+        let mut a = EngineProfile {
+            windows: 10,
+            steals: 2,
+            barrier_wait_ns: 100,
+            batched_events: 7,
+            batch_max_events: 4,
+        };
+        let b = EngineProfile {
+            windows: 10,
+            steals: 1,
+            barrier_wait_ns: 50,
+            batched_events: 3,
+            batch_max_events: 6,
+        };
+        a.merge(&b);
+        assert_eq!(a.windows, 10); // same global window sequence: max
+        assert_eq!(a.steals, 3);
+        assert_eq!(a.barrier_wait_ns, 150);
+        assert_eq!(a.batched_events, 10);
+        assert_eq!(a.batch_max_events, 6);
     }
 
     #[test]

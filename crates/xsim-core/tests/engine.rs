@@ -2,11 +2,13 @@
 //! API the way upper layers (xsim-mpi et al.) do.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use xsim_core::engine;
 use xsim_core::event::Action;
 use xsim_core::vp::{VpExit, VpFuture, WaitClass};
-use xsim_core::{ctx, CoreConfig, ExitKind, Kernel, Rank, SimError, SimTime};
+use xsim_core::{
+    ctx, CoreConfig, EngineKind, ExitKind, Kernel, LookaheadProvider, Rank, SimError, SimTime,
+};
 
 fn cfg(n: usize, workers: usize) -> CoreConfig {
     CoreConfig {
@@ -104,6 +106,126 @@ fn parallel_engine_matches_sequential() {
         assert_eq!(par.final_clocks, seq.final_clocks, "workers={workers}");
         assert_eq!(par.exit, seq.exit);
     }
+}
+
+#[test]
+fn forced_parallel_single_worker_matches_sequential() {
+    // EngineKind::Parallel with workers=1 runs the full parallel code
+    // path (windows, exchange batching) without concurrency — the
+    // middle leg of every differential comparison.
+    let n = 16;
+    let seq = engine::run(cfg(n, 1), Arc::new(relay_program(n)), &no_setup).unwrap();
+    let par = engine::run(
+        CoreConfig {
+            engine: EngineKind::Parallel,
+            ..cfg(n, 1)
+        },
+        Arc::new(relay_program(n)),
+        &no_setup,
+    )
+    .unwrap();
+    assert_eq!(par.final_clocks, seq.final_clocks);
+    assert_eq!(par.events_processed, seq.events_processed);
+    assert_eq!(par.context_switches, seq.context_switches);
+    assert_eq!(par.exit, seq.exit);
+    assert!(par.profile.windows > 0, "parallel path actually ran");
+    assert_eq!(seq.profile.windows, 0, "sequential profile is empty");
+}
+
+/// Every rank > 0 schedules two `Call` events to rank 0, all at the
+/// *same* absolute virtual time, each appending its rank to a shared
+/// log. The log order observed on rank 0 is therefore purely the
+/// same-timestamp tie-break `(dst, src, seq)` — identical across
+/// engines and shard counts or the exchange batching reordered ties.
+fn collide_program(log: Arc<Mutex<Vec<u64>>>) -> impl Fn(Rank) -> VpFuture + Send + Sync {
+    move |rank: Rank| {
+        let log = log.clone();
+        Box::pin(async move {
+            assert_eq!(ctx::lookahead(), SimTime::from_micros(1));
+            if rank.idx() > 0 {
+                for _ in 0..2 {
+                    let log = log.clone();
+                    let r = rank.idx() as u64;
+                    ctx::with_kernel(move |k, _| {
+                        k.schedule_at(
+                            SimTime::from_millis(1),
+                            Rank::new(0),
+                            Action::Call(Box::new(move |_k: &mut Kernel| {
+                                log.lock().unwrap().push(r);
+                            })),
+                        );
+                    });
+                }
+            }
+            VpExit::Finished
+        }) as VpFuture
+    }
+}
+
+#[test]
+fn colliding_timestamps_across_shards_keep_tie_order() {
+    let n = 9;
+    let expected: Vec<u64> = (1..n as u64).flat_map(|r| [r, r]).collect();
+    for (workers, engine_kind) in [
+        (1, EngineKind::Auto),
+        (1, EngineKind::Parallel),
+        (2, EngineKind::Auto),
+        (4, EngineKind::Auto),
+        (8, EngineKind::Auto),
+    ] {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let c = CoreConfig {
+            engine: engine_kind,
+            ..cfg(n, workers)
+        };
+        let report = engine::run(c, Arc::new(collide_program(log.clone())), &no_setup).unwrap();
+        assert_eq!(report.exit, ExitKind::Completed);
+        assert_eq!(
+            *log.lock().unwrap(),
+            expected,
+            "tie order broke at workers={workers} engine={engine_kind:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_lookahead_reduces_windows_preserving_results() {
+    // sleepy_program's wakes are spread 1 ms apart; with the static 1 µs
+    // lookahead every distinct wake time needs its own window, while a
+    // 5 ms provider lets one window swallow several. Results must not
+    // change — the provider only widens windows.
+    let n = 8;
+    let static_run = engine::run(cfg(n, 4), Arc::new(sleepy_program), &no_setup).unwrap();
+    let adaptive = CoreConfig {
+        lookahead_fn: Some(LookaheadProvider::constant(SimTime::from_millis(5))),
+        ..cfg(n, 4)
+    };
+    let adaptive_run = engine::run(adaptive, Arc::new(sleepy_program), &no_setup).unwrap();
+    assert_eq!(adaptive_run.final_clocks, static_run.final_clocks);
+    assert_eq!(adaptive_run.events_processed, static_run.events_processed);
+    assert!(adaptive_run.profile.windows > 0);
+    assert!(
+        adaptive_run.profile.windows < static_run.profile.windows,
+        "wider windows must mean fewer synchronizations: {} >= {}",
+        adaptive_run.profile.windows,
+        static_run.profile.windows
+    );
+}
+
+#[test]
+fn adaptive_lookahead_handles_events_on_the_window_bound() {
+    // Relay hop (5 µs) exactly equals the provided lookahead: every
+    // cross-shard event lands precisely on the receiver's exclusive
+    // window bound — the off-by-one edge of the conservative argument.
+    let n = 16;
+    let seq = engine::run(cfg(n, 1), Arc::new(relay_program(n)), &no_setup).unwrap();
+    let c = CoreConfig {
+        lookahead_fn: Some(LookaheadProvider::constant(SimTime::from_micros(5))),
+        ..cfg(n, 4)
+    };
+    let par = engine::run(c, Arc::new(relay_program(n)), &no_setup).unwrap();
+    assert_eq!(par.final_clocks, seq.final_clocks);
+    assert_eq!(par.events_processed, seq.events_processed);
 }
 
 #[test]

@@ -8,7 +8,7 @@ use xsim_core::engine;
 use xsim_core::event::{Action, EventKey, EventRec};
 use xsim_core::queue::EventQueue;
 use xsim_core::vp::{VpExit, VpFuture};
-use xsim_core::{ctx, CoreConfig, Kernel, Rank, SimTime};
+use xsim_core::{ctx, CoreConfig, EngineKind, Kernel, LookaheadProvider, Rank, SimTime};
 
 proptest! {
     #[test]
@@ -49,6 +49,44 @@ proptest! {
             prop_assert!(w[0] <= w[1], "out of order: {:?} then {:?}", w[0], w[1]);
         }
     }
+
+    /// The queue's pop order is a pure function of the key *set*: any
+    /// push-order interleaving (here: identity, reversed, and an
+    /// arbitrary rotation) yields the same total order. This is the
+    /// property that makes batched cross-shard insertion safe — the
+    /// parallel engine may deliver remote events in any slot order.
+    #[test]
+    fn event_queue_total_order_is_interleaving_independent(
+        keys in proptest::collection::vec((any::<u64>(), 0u32..64, 0u32..64, any::<u64>()), 0..100),
+        rot in any::<usize>(),
+    ) {
+        let pop_all = |order: &[usize]| -> Vec<EventKey> {
+            let mut q = EventQueue::new();
+            for &i in order {
+                let (t, dst, src, seq) = keys[i];
+                q.push(EventRec {
+                    key: EventKey { time: SimTime(t), dst: Rank(dst), src: Rank(src), seq },
+                    action: Action::Spawn,
+                });
+            }
+            let mut popped = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push(e.key);
+            }
+            popped
+        };
+        let n = keys.len();
+        let identity: Vec<usize> = (0..n).collect();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        let rotated: Vec<usize> = if n == 0 {
+            Vec::new()
+        } else {
+            (0..n).map(|i| (i + rot % n) % n).collect()
+        };
+        let reference = pop_all(&identity);
+        prop_assert_eq!(&pop_all(&reversed), &reference);
+        prop_assert_eq!(&pop_all(&rotated), &reference);
+    }
 }
 
 /// A randomized program: each rank performs a schedule of sleeps and
@@ -57,9 +95,21 @@ fn random_program(
     opcodes: Arc<Vec<Vec<u8>>>,
     n_ranks: usize,
 ) -> impl Fn(Rank) -> VpFuture + Send + Sync {
+    random_program_with_delay(opcodes, n_ranks, 2)
+}
+
+/// Like [`random_program`] but with a configurable minimum cross-rank
+/// wake delay, so lookahead-related properties can vary the true
+/// delivery latency independently of the engine's window bound.
+fn random_program_with_delay(
+    opcodes: Arc<Vec<Vec<u8>>>,
+    n_ranks: usize,
+    wake_delay_us: u64,
+) -> impl Fn(Rank) -> VpFuture + Send + Sync {
     move |rank: Rank| {
         let ops = opcodes[rank.idx() % opcodes.len()].clone();
         let n = n_ranks;
+        let delay = SimTime::from_micros(wake_delay_us);
         Box::pin(async move {
             for op in ops {
                 match op % 3 {
@@ -69,7 +119,7 @@ fn random_program(
                         // delay.
                         let peer = Rank::new((rank.idx() + op as usize + 1) % n);
                         ctx::with_kernel(|k, me| {
-                            let t = k.vp(me).clock + SimTime::from_micros(2);
+                            let t = k.vp(me).clock + delay;
                             k.schedule_at(t, peer, Action::WakeMessage);
                         });
                     }
@@ -90,10 +140,11 @@ proptest! {
         n_ranks in 1usize..24,
     ) {
         let opcodes = Arc::new(opcodes);
-        let run = |workers: usize| {
+        let run = |workers: usize, engine_kind: EngineKind| {
             let cfg = CoreConfig {
                 n_ranks,
                 workers,
+                engine: engine_kind,
                 lookahead: SimTime::from_micros(1),
                 ..Default::default()
             };
@@ -105,10 +156,100 @@ proptest! {
             )
             .unwrap()
         };
-        let seq = run(1);
+        let seq = run(1, EngineKind::Auto);
+        // The parallel path with one worker exercises the full window
+        // machinery (shards, exchange slots, bounds) without
+        // concurrency; it must agree on *everything*, including the
+        // scalar counters.
+        let par1 = run(1, EngineKind::Parallel);
+        prop_assert_eq!(&par1.final_clocks, &seq.final_clocks, "parallel(1)");
+        prop_assert_eq!(par1.events_processed, seq.events_processed, "parallel(1) events");
+        prop_assert_eq!(par1.context_switches, seq.context_switches, "parallel(1) switches");
         for workers in [2usize, 5] {
-            let par = run(workers);
+            let par = run(workers, EngineKind::Auto);
             prop_assert_eq!(&par.final_clocks, &seq.final_clocks, "workers={}", workers);
+            prop_assert_eq!(par.events_processed, seq.events_processed, "workers={}", workers);
+            prop_assert_eq!(par.context_switches, seq.context_switches, "workers={}", workers);
         }
+    }
+
+    /// Window-bound safety: every static lookahead no larger than the
+    /// minimum cross-rank delay (2µs in [`random_program`]) is a safe
+    /// window bound — the parallel engine must reproduce the sequential
+    /// oracle exactly for *any* such bound, not just the default.
+    #[test]
+    fn any_safe_static_lookahead_reproduces_the_oracle(
+        opcodes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..10), 1..4),
+        n_ranks in 2usize..16,
+        la_us in 1u64..=2,
+        workers in 2usize..6,
+    ) {
+        let opcodes = Arc::new(opcodes);
+        let run = |workers: usize, engine_kind: EngineKind| {
+            let cfg = CoreConfig {
+                n_ranks,
+                workers,
+                engine: engine_kind,
+                lookahead: SimTime::from_micros(la_us),
+                ..Default::default()
+            };
+            let setup = |_: &mut Kernel| {};
+            engine::run(
+                cfg,
+                Arc::new(random_program(opcodes.clone(), n_ranks)),
+                &setup,
+            )
+            .unwrap()
+        };
+        let seq = run(1, EngineKind::Sequential);
+        let par = run(workers, EngineKind::Parallel);
+        prop_assert_eq!(&par.final_clocks, &seq.final_clocks);
+        prop_assert_eq!(par.events_processed, seq.events_processed);
+        prop_assert_eq!(par.context_switches, seq.context_switches);
+    }
+
+    /// Adaptive-lookahead conservativeness: with cross-rank wakes
+    /// arriving after `delay_us`, any adaptive provider returning a
+    /// value in `1..=delay_us` only *widens* windows relative to the
+    /// 1µs static floor and must never change results vs the
+    /// sequential oracle.
+    #[test]
+    fn adaptive_lookahead_is_conservative_vs_static_oracle(
+        opcodes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..10), 1..4),
+        n_ranks in 2usize..16,
+        delay_us in 2u64..8,
+        adaptive_frac in 1u64..=100,
+        workers in 2usize..6,
+    ) {
+        let opcodes = Arc::new(opcodes);
+        // Provider value in 1..=delay_us, derived deterministically.
+        let adaptive_us = 1 + (adaptive_frac * delay_us.saturating_sub(1)) / 100;
+        let run = |workers: usize, engine_kind: EngineKind, provider: Option<LookaheadProvider>| {
+            let cfg = CoreConfig {
+                n_ranks,
+                workers,
+                engine: engine_kind,
+                lookahead: SimTime::from_micros(1),
+                lookahead_fn: provider,
+                ..Default::default()
+            };
+            let setup = |_: &mut Kernel| {};
+            engine::run(
+                cfg,
+                Arc::new(random_program_with_delay(opcodes.clone(), n_ranks, delay_us)),
+                &setup,
+            )
+            .unwrap()
+        };
+        let seq = run(1, EngineKind::Sequential, None);
+        let adaptive = run(
+            workers,
+            EngineKind::Parallel,
+            Some(LookaheadProvider::constant(SimTime::from_micros(adaptive_us))),
+        );
+        prop_assert_eq!(&adaptive.final_clocks, &seq.final_clocks,
+            "delay={}us adaptive={}us", delay_us, adaptive_us);
+        prop_assert_eq!(adaptive.events_processed, seq.events_processed);
+        prop_assert_eq!(adaptive.context_switches, seq.context_switches);
     }
 }

@@ -14,10 +14,12 @@ use parking_lot::Mutex;
 use std::future::Future;
 use std::sync::Arc;
 use xsim_core::vp::VpProgram;
-use xsim_core::{engine, CoreConfig, Kernel, Rank, SimError, SimReport, SimTime};
+use xsim_core::{
+    engine, CoreConfig, EngineKind, Kernel, LookaheadProvider, Rank, SimError, SimReport, SimTime,
+};
 use xsim_fs::{FsModel, FsService, FsStore};
 use xsim_net::{LinkStateTable, NetFault, NetModel};
-use xsim_obs::{ChromeTraceWriter, ObsReport, ObsService, ObsSink};
+use xsim_obs::{ids as metric_ids, ChromeTraceWriter, ObsReport, ObsService, ObsSink};
 use xsim_proc::{PowerModel, PowerReport, ProcModel};
 
 /// A per-shard setup hook registered via [`SimBuilder::setup_hook`].
@@ -119,6 +121,9 @@ impl RunReport {
 pub struct SimBuilder {
     n_ranks: usize,
     workers: usize,
+    engine: EngineKind,
+    batch_hint: usize,
+    adaptive_lookahead: bool,
     seed: u64,
     start_time: SimTime,
     verbose: bool,
@@ -149,6 +154,9 @@ impl SimBuilder {
         SimBuilder {
             n_ranks,
             workers: 1,
+            engine: EngineKind::Auto,
+            batch_hint: 0,
+            adaptive_lookahead: true,
             seed: 0xD5_1A_B0_75,
             start_time: SimTime::ZERO,
             verbose: false,
@@ -204,9 +212,37 @@ impl SimBuilder {
         self.fs_store.clone()
     }
 
-    /// Number of native worker threads (1 = sequential reference engine).
+    /// Number of native worker threads (with the default
+    /// [`EngineKind::Auto`], 1 selects the sequential reference engine).
     pub fn workers(mut self, w: usize) -> Self {
         self.workers = w;
+        self
+    }
+
+    /// Force an engine kind. [`EngineKind::Parallel`] with `workers(1)`
+    /// runs the parallel code path without concurrency — the middle leg
+    /// of the sequential/parallel differential tests.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Capacity hint (events) for the parallel engine's per-(src,dst)
+    /// cross-shard exchange buffers. Purely a performance knob — the
+    /// buffers grow as needed and are recycled between windows.
+    pub fn batch_hint(mut self, events: usize) -> Self {
+        self.batch_hint = events;
+        self
+    }
+
+    /// Let the parallel engine widen synchronization windows using the
+    /// network model's cross-shard lookahead (on by default). When shard
+    /// blocks align with compute nodes, cross-shard traffic is
+    /// system-class and the window can grow from the global minimum
+    /// latency to the system link latency — fewer barriers, identical
+    /// results. Disable to pin windows to the static minimum.
+    pub fn adaptive_lookahead(mut self, enabled: bool) -> Self {
+        self.adaptive_lookahead = enabled;
         self
     }
 
@@ -376,15 +412,18 @@ impl SimBuilder {
         let notify_delay = self.notify_delay.unwrap_or(lookahead).max(lookahead);
         let start_time = self.start_time;
 
-        let cfg = CoreConfig {
+        let mut cfg = CoreConfig {
             n_ranks: self.n_ranks,
             workers: self.workers,
+            engine: self.engine,
+            batch_hint: self.batch_hint,
             start_time: self.start_time,
             seed: self.seed,
             lookahead,
             fail_blocked: self.fail_blocked,
             max_events: self.max_events,
             verbose: self.verbose,
+            ..CoreConfig::default()
         };
 
         let world = Arc::new(MpiWorld {
@@ -398,6 +437,26 @@ impl SimBuilder {
             lossy,
             verbose: self.verbose,
         });
+
+        if self.adaptive_lookahead && cfg.use_parallel() {
+            // Everything crossing a shard boundary is either application
+            // traffic (delayed by at least the network's cross-shard
+            // latency for this partition) or a simulator-internal
+            // notification (delayed by notify_delay), so their minimum
+            // bounds the delay of *any* cross-shard event. Only install
+            // the provider when that beats the static floor; the engine
+            // takes max(lookahead, provider) per window either way.
+            let rps = cfg.ranks_per_shard();
+            let cross = world.net.cross_shard_lookahead(rps).min(notify_delay);
+            if cross > lookahead {
+                let world = world.clone();
+                cfg.lookahead_fn = Some(LookaheadProvider::new(move |_lbts| {
+                    // Queried each window against the live model: faults
+                    // only lengthen routes, so this stays conservative.
+                    world.net.cross_shard_lookahead(rps).min(world.notify_delay)
+                }));
+            }
+        }
         let stats_sink = Arc::new(Mutex::new(MpiStats::default()));
         let fs_store = self.fs_store;
         let fs_model = self.fs_model;
@@ -471,7 +530,20 @@ impl SimBuilder {
                 mpi.bytes_sent,
             )
         });
-        let metrics = metrics_enabled.then(|| ObsReport::assemble(&obs_sink));
+        let mut metrics = metrics_enabled.then(|| ObsReport::assemble(&obs_sink));
+        if let Some(m) = metrics.as_mut() {
+            // Surface the engine execution profile as (volatile) metrics
+            // so perf investigations see windows/steals/batches next to
+            // the subsystem counters.
+            let p = sim.profile;
+            m.set.add(metric_ids::ENGINE_WINDOWS, p.windows);
+            m.set.add(metric_ids::ENGINE_STEALS, p.steals);
+            m.set
+                .add(metric_ids::ENGINE_BARRIER_WAIT_NS, p.barrier_wait_ns);
+            m.set
+                .add(metric_ids::ENGINE_BATCHED_EVENTS, p.batched_events);
+            m.set.add(metric_ids::ENGINE_BATCH_MAX, p.batch_max_events);
+        }
         let trace = trace_enabled.then(|| {
             let mut events: Vec<TraceEvent> = std::mem::take(&mut trace_sink.lock());
             // Surface file-system spans as FileIo phases so the MPI

@@ -49,3 +49,4 @@ pub use redundancy::{Redundant, Verdict};
 pub use request::{RecvOut, ReqId};
 pub use state::{CollAlgo, Detector, LossyTransport, MpiStats, MpiWorld, TxOutcome};
 pub use trace::{PhaseKind, Trace, TraceEvent};
+pub use xsim_core::EngineKind;

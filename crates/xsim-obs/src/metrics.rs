@@ -54,6 +54,58 @@ pub struct MetricDef {
     /// Upper bucket bounds (inclusive) for histograms; one overflow
     /// bucket is added implicitly. Empty for counters/gauges.
     pub buckets: &'static [u64],
+    /// Execution-shape metric: its value depends on worker count,
+    /// scheduling or wall-clock timing (engine windows, steals, barrier
+    /// waits…) rather than on the simulation alone. Volatile metrics
+    /// are excluded from deterministic snapshots (`to_json(None)`) and
+    /// from cross-engine equality assertions.
+    pub volatile: bool,
+}
+
+impl MetricDef {
+    /// A monotonic counter.
+    pub const fn counter(name: &'static str, unit: Unit) -> Self {
+        MetricDef {
+            name,
+            kind: MetricKind::Counter,
+            unit,
+            buckets: &[],
+            volatile: false,
+        }
+    }
+
+    /// A high-water-mark gauge.
+    pub const fn gauge(name: &'static str, unit: Unit) -> Self {
+        MetricDef {
+            name,
+            kind: MetricKind::Gauge,
+            unit,
+            buckets: &[],
+            volatile: false,
+        }
+    }
+
+    /// A fixed-bucket histogram.
+    pub const fn histogram(name: &'static str, unit: Unit, buckets: &'static [u64]) -> Self {
+        MetricDef {
+            name,
+            kind: MetricKind::Histogram,
+            unit,
+            buckets,
+            volatile: false,
+        }
+    }
+
+    /// Mark the metric execution-shape-dependent (see the field docs).
+    pub const fn volatile(self) -> Self {
+        MetricDef {
+            name: self.name,
+            kind: self.kind,
+            unit: self.unit,
+            buckets: self.buckets,
+            volatile: true,
+        }
+    }
 }
 
 /// Size buckets (bytes): powers of four from 64 B to 16 MiB.
@@ -149,190 +201,61 @@ pub mod ids {
     pub const NET_DEGRADED_NS: usize = 28;
     /// Messages discarded because a lossy link corrupted the payload.
     pub const NET_CORRUPT_DROPS: usize = 29;
+    /// Synchronization windows the parallel engine executed (volatile:
+    /// depends on worker/shard count and adaptive lookahead).
+    pub const ENGINE_WINDOWS: usize = 30;
+    /// Shard window-tasks executed by a non-home worker (volatile:
+    /// work-stealing is scheduling-dependent).
+    pub const ENGINE_STEALS: usize = 31;
+    /// Wall-clock nanoseconds spent waiting at window barriers
+    /// (volatile: wall-clock).
+    pub const ENGINE_BARRIER_WAIT_NS: usize = 32;
+    /// Cross-shard events delivered through the batched exchange
+    /// (volatile: depends on the shard partition).
+    pub const ENGINE_BATCHED_EVENTS: usize = 33;
+    /// Largest single (src,dst) exchange batch (volatile).
+    pub const ENGINE_BATCH_MAX: usize = 34;
 }
 
 /// The metric schema, indexed by [`ids`].
 pub const SPEC: &[MetricDef] = &[
-    MetricDef {
-        name: "net.msgs_eager",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.msgs_rendezvous",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.bytes_onchip",
-        kind: MetricKind::Counter,
-        unit: Unit::Bytes,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.bytes_onnode",
-        kind: MetricKind::Counter,
-        unit: Unit::Bytes,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.bytes_system",
-        kind: MetricKind::Counter,
-        unit: Unit::Bytes,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.timeout_detections",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.msg_bytes",
-        kind: MetricKind::Histogram,
-        unit: Unit::Bytes,
-        buckets: SIZE_BUCKETS,
-    },
-    MetricDef {
-        name: "mpi.unexpected_hwm",
-        kind: MetricKind::Gauge,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fs.writes",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fs.reads",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fs.deletes",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fs.faults_injected",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fs.write_bytes",
-        kind: MetricKind::Histogram,
-        unit: Unit::Bytes,
-        buckets: SIZE_BUCKETS,
-    },
-    MetricDef {
-        name: "fs.read_bytes",
-        kind: MetricKind::Histogram,
-        unit: Unit::Bytes,
-        buckets: SIZE_BUCKETS,
-    },
-    MetricDef {
-        name: "fs.write_ns",
-        kind: MetricKind::Histogram,
-        unit: Unit::Nanos,
-        buckets: LATENCY_BUCKETS,
-    },
-    MetricDef {
-        name: "fs.read_ns",
-        kind: MetricKind::Histogram,
-        unit: Unit::Nanos,
-        buckets: LATENCY_BUCKETS,
-    },
-    MetricDef {
-        name: "ckpt.writes",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "ckpt.bytes_written",
-        kind: MetricKind::Counter,
-        unit: Unit::Bytes,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "ckpt.commit_ns",
-        kind: MetricKind::Histogram,
-        unit: Unit::Nanos,
-        buckets: LATENCY_BUCKETS,
-    },
-    MetricDef {
-        name: "ckpt.loads",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "ckpt.corrupt_discarded",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "ckpt.deletes",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fault.activations",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "fault.soft_flips",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.drops",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.retransmits",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.backoff_ns",
-        kind: MetricKind::Counter,
-        unit: Unit::Nanos,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.rerouted_hops",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.degraded_ns",
-        kind: MetricKind::Counter,
-        unit: Unit::Nanos,
-        buckets: &[],
-    },
-    MetricDef {
-        name: "net.corrupt_drops",
-        kind: MetricKind::Counter,
-        unit: Unit::Count,
-        buckets: &[],
-    },
+    MetricDef::counter("net.msgs_eager", Unit::Count),
+    MetricDef::counter("net.msgs_rendezvous", Unit::Count),
+    MetricDef::counter("net.bytes_onchip", Unit::Bytes),
+    MetricDef::counter("net.bytes_onnode", Unit::Bytes),
+    MetricDef::counter("net.bytes_system", Unit::Bytes),
+    MetricDef::counter("net.timeout_detections", Unit::Count),
+    MetricDef::histogram("net.msg_bytes", Unit::Bytes, SIZE_BUCKETS),
+    MetricDef::gauge("mpi.unexpected_hwm", Unit::Count),
+    MetricDef::counter("fs.writes", Unit::Count),
+    MetricDef::counter("fs.reads", Unit::Count),
+    MetricDef::counter("fs.deletes", Unit::Count),
+    MetricDef::counter("fs.faults_injected", Unit::Count),
+    MetricDef::histogram("fs.write_bytes", Unit::Bytes, SIZE_BUCKETS),
+    MetricDef::histogram("fs.read_bytes", Unit::Bytes, SIZE_BUCKETS),
+    MetricDef::histogram("fs.write_ns", Unit::Nanos, LATENCY_BUCKETS),
+    MetricDef::histogram("fs.read_ns", Unit::Nanos, LATENCY_BUCKETS),
+    MetricDef::counter("ckpt.writes", Unit::Count),
+    MetricDef::counter("ckpt.bytes_written", Unit::Bytes),
+    MetricDef::histogram("ckpt.commit_ns", Unit::Nanos, LATENCY_BUCKETS),
+    MetricDef::counter("ckpt.loads", Unit::Count),
+    MetricDef::counter("ckpt.corrupt_discarded", Unit::Count),
+    MetricDef::counter("ckpt.deletes", Unit::Count),
+    MetricDef::counter("fault.activations", Unit::Count),
+    MetricDef::counter("fault.soft_flips", Unit::Count),
+    MetricDef::counter("net.drops", Unit::Count),
+    MetricDef::counter("net.retransmits", Unit::Count),
+    MetricDef::counter("net.backoff_ns", Unit::Nanos),
+    MetricDef::counter("net.rerouted_hops", Unit::Count),
+    MetricDef::counter("net.degraded_ns", Unit::Nanos),
+    MetricDef::counter("net.corrupt_drops", Unit::Count),
+    // Engine execution-shape gauges, set once post-run from the
+    // SimReport's EngineProfile — volatile by nature (see MetricDef).
+    MetricDef::gauge("engine.windows", Unit::Count).volatile(),
+    MetricDef::gauge("engine.steals", Unit::Count).volatile(),
+    MetricDef::gauge("engine.barrier_wait_ns", Unit::Nanos).volatile(),
+    MetricDef::gauge("engine.batched_events", Unit::Count).volatile(),
+    MetricDef::gauge("engine.batch_max_events", Unit::Count).volatile(),
 ];
 
 /// A filled histogram.
@@ -456,12 +379,20 @@ impl MetricSet {
     }
 
     /// Append the `"metrics"` JSON object (name → typed value) to `out`.
-    pub(crate) fn write_json(&self, out: &mut String) {
+    /// With `include_volatile = false` the execution-shape metrics are
+    /// omitted so the snapshot stays engine-independent (this is the
+    /// `to_json(None)` determinism surface).
+    pub(crate) fn write_json(&self, out: &mut String, include_volatile: bool) {
         out.push('{');
+        let mut first = true;
         for (id, def) in SPEC.iter().enumerate() {
-            if id > 0 {
+            if def.volatile && !include_volatile {
+                continue;
+            }
+            if !first {
                 out.push(',');
             }
+            first = false;
             let _ = write!(out, "\"{}\":{{\"kind\":", def.name);
             match &self.slots[id] {
                 Slot::Counter(v) => {
@@ -514,7 +445,7 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::NET_CORRUPT_DROPS + 1);
+        assert_eq!(SPEC.len(), ids::ENGINE_BATCH_MAX + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
@@ -522,6 +453,17 @@ mod tests {
         assert_eq!(SPEC[ids::NET_DROPS].name, "net.drops");
         assert_eq!(SPEC[ids::NET_BACKOFF_NS].unit, Unit::Nanos);
         assert_eq!(SPEC[ids::NET_CORRUPT_DROPS].name, "net.corrupt_drops");
+        assert_eq!(SPEC[ids::ENGINE_WINDOWS].name, "engine.windows");
+        assert_eq!(SPEC[ids::ENGINE_BATCH_MAX].name, "engine.batch_max_events");
+        // Exactly the engine execution-shape metrics are volatile.
+        for (id, def) in SPEC.iter().enumerate() {
+            assert_eq!(
+                def.volatile,
+                id >= ids::ENGINE_WINDOWS,
+                "volatility of {}",
+                def.name
+            );
+        }
         // Names are unique.
         let mut names: Vec<_> = SPEC.iter().map(|d| d.name).collect();
         names.sort_unstable();
@@ -578,7 +520,7 @@ mod tests {
         m.add(ids::NET_MSGS_EAGER, 4);
         m.add(ids::FS_WRITE_BYTES, 1024);
         let mut s = String::new();
-        m.write_json(&mut s);
+        m.write_json(&mut s, true);
         let v = crate::json::Json::parse(&s).expect("valid JSON");
         assert_eq!(
             v.get("net.msgs_eager")
@@ -589,5 +531,26 @@ mod tests {
         let hist = v.get("fs.write_bytes").unwrap();
         assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(hist.get("kind").unwrap().as_str(), Some("histogram"));
+    }
+
+    #[test]
+    fn volatile_metrics_are_gated_out_of_snapshots() {
+        let mut m = MetricSet::new();
+        m.add(ids::ENGINE_WINDOWS, 12);
+        m.add(ids::CKPT_WRITES, 1);
+        let mut without = String::new();
+        m.write_json(&mut without, false);
+        let v = crate::json::Json::parse(&without).expect("valid JSON");
+        assert!(v.get("engine.windows").is_none(), "volatile gated out");
+        assert!(v.get("ckpt.writes").is_some());
+        let mut with = String::new();
+        m.write_json(&mut with, true);
+        let v = crate::json::Json::parse(&with).expect("valid JSON");
+        assert_eq!(
+            v.get("engine.windows")
+                .and_then(|e| e.get("value"))
+                .and_then(|n| n.as_u64()),
+            Some(12)
+        );
     }
 }

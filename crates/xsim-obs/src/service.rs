@@ -144,7 +144,12 @@ impl ObsReport {
 
     /// Render the machine-readable metrics snapshot. Pass the engine
     /// report to include the engine section (events, context switches,
-    /// per-shard stats, load imbalance).
+    /// per-shard stats, load imbalance, parallel-engine profile).
+    ///
+    /// Without an engine report (`to_json(None)`) the snapshot is the
+    /// *deterministic surface*: volatile (execution-shape) metrics are
+    /// omitted, so the output is byte-identical across engine kinds and
+    /// worker counts for the same seed and configuration.
     pub fn to_json(&self, sim: Option<&SimReport>) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":\"xsim-metrics-v1\"");
@@ -152,11 +157,17 @@ impl ObsReport {
             let _ = write!(
                 out,
                 ",\"engine\":{{\"events_processed\":{},\"context_switches\":{},\"wall_us\":{},\
-                 \"load_imbalance\":{:.4},\"shards\":[",
+                 \"load_imbalance\":{:.4},\"windows\":{},\"steals\":{},\"barrier_wait_ns\":{},\
+                 \"batched_events\":{},\"batch_max_events\":{},\"shards\":[",
                 r.events_processed,
                 r.context_switches,
                 r.wall.as_micros(),
-                r.load_imbalance()
+                r.load_imbalance(),
+                r.profile.windows,
+                r.profile.steals,
+                r.profile.barrier_wait_ns,
+                r.profile.batched_events,
+                r.profile.batch_max_events
             );
             for (i, s) in r.shards.iter().enumerate() {
                 if i > 0 {
@@ -172,7 +183,7 @@ impl ObsReport {
             out.push_str("]}");
         }
         out.push_str(",\"metrics\":");
-        self.set.write_json(&mut out);
+        self.set.write_json(&mut out, sim.is_some());
         let _ = write!(out, ",\"span_count\":{}}}", self.spans.len());
         out
     }

@@ -1,0 +1,138 @@
+//! Offline stub of the `bytes` crate surface xsim uses: an immutable,
+//! cheaply-clonable `Bytes`, a growable `BytesMut`, and the `BufMut`
+//! writer methods the codecs call. Backed by `Arc<Vec<u8>>` / `Vec<u8>`
+//! — no zero-copy slicing, which xsim never relies on.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Arc::new(Vec::new()))
+    }
+
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes(Arc::new(b.to_vec()))
+    }
+
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes(Arc::new(b.to_vec()))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::new(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes::from_static(b)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(Arc::new(s.into_bytes()))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes(Arc::new(s.as_bytes().to_vec()))
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}

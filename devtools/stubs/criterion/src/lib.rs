@@ -1,0 +1,1 @@
+//! Empty offline stub: targets that need the real criterion do not build in stub mode.

@@ -1,0 +1,1 @@
+//! Empty offline stub: targets that need the real crossbeam do not build in stub mode.

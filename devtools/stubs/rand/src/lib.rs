@@ -1,0 +1,167 @@
+//! Offline stub of the `rand` crate surface xsim uses.
+//!
+//! `SmallRng` is implemented as xoshiro256++ — the same algorithm the
+//! real rand 0.8 `SmallRng` uses on 64-bit targets — so stub-mode and
+//! registry-mode builds draw from identical raw streams. `gen_range`
+//! uses plain rejection sampling, which is unbiased but not
+//! bit-compatible with rand's widening-multiply method; no test in this
+//! repo asserts golden range-sampled values, only statistics.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed;
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+    {
+        T::sample(self, &range)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub trait SampleUniform: Sized {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G, range: &impl std::ops::RangeBounds<Self>) -> Self;
+}
+
+fn u64_bounds(range: &impl std::ops::RangeBounds<u64>) -> (u64, u64) {
+    use std::ops::Bound::*;
+    let lo = match range.start_bound() {
+        Included(&v) => v,
+        Excluded(&v) => v + 1,
+        Unbounded => 0,
+    };
+    let hi = match range.end_bound() {
+        Included(&v) => v.checked_add(1).expect("inclusive u64::MAX range"),
+        Excluded(&v) => v,
+        Unbounded => u64::MAX,
+    };
+    assert!(lo < hi, "empty sample range");
+    (lo, hi)
+}
+
+fn sample_u64<G: RngCore + ?Sized>(rng: &mut G, lo: u64, hi: u64) -> u64 {
+    let span = hi - lo;
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Rejection sampling: draw until the value falls inside the largest
+    // multiple of `span`, so every residue is equally likely.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return lo + v % span;
+        }
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G, range: &impl std::ops::RangeBounds<u64>) -> u64 {
+        let (lo, hi) = u64_bounds(range);
+        sample_u64(rng, lo, hi)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample<G: RngCore + ?Sized>(
+        rng: &mut G,
+        range: &impl std::ops::RangeBounds<usize>,
+    ) -> usize {
+        use std::ops::Bound::*;
+        let lo = match range.start_bound() {
+            Included(&v) => v,
+            Excluded(&v) => v + 1,
+            Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Included(&v) => v + 1,
+            Excluded(&v) => v,
+            Unbounded => usize::MAX,
+        };
+        assert!(lo < hi, "empty sample range");
+        sample_u64(rng, lo as u64, hi as u64) as usize
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample<G: RngCore + ?Sized>(rng: &mut G, range: &impl std::ops::RangeBounds<f64>) -> f64 {
+        use std::ops::Bound::*;
+        let lo = match range.start_bound() {
+            Included(&v) | Excluded(&v) => v,
+            Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Included(&v) | Excluded(&v) => v,
+            Unbounded => 1.0,
+        };
+        // 53 uniform mantissa bits in [0, 1), scaled to the range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ (public domain, Blackman & Vigna) — the algorithm
+    /// behind rand 0.8's 64-bit `SmallRng`.
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // The all-zero state is the one invalid seed.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}

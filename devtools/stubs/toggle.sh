@@ -1,0 +1,40 @@
+#!/bin/sh
+# Swap the workspace's external deps between the crates.io registry and
+# the local offline stubs in devtools/stubs/. Only the root Cargo.toml's
+# [workspace.dependencies] section changes; member crates inherit.
+#
+#   sh devtools/stubs/toggle.sh stubs   # offline: path deps on the stubs
+#   sh devtools/stubs/toggle.sh real    # registry deps (before committing!)
+#
+# Both directions drop Cargo.lock so the next build resolves cleanly.
+set -e
+cd "$(dirname "$0")/../.."
+
+case "$1" in
+  stubs)
+    sed -i \
+      -e 's#^rand = .*#rand = { path = "devtools/stubs/rand", default-features = false, features = ["std", "std_rng", "small_rng"] }#' \
+      -e 's#^proptest = .*#proptest = { path = "devtools/stubs/proptest" }#' \
+      -e 's#^criterion = .*#criterion = { path = "devtools/stubs/criterion" }#' \
+      -e 's#^crossbeam = .*#crossbeam = { path = "devtools/stubs/crossbeam" }#' \
+      -e 's#^parking_lot = .*#parking_lot = { path = "devtools/stubs/parking_lot" }#' \
+      -e 's#^bytes = .*#bytes = { path = "devtools/stubs/bytes" }#' \
+      Cargo.toml
+    ;;
+  real)
+    sed -i \
+      -e 's#^rand = .*#rand = { version = "0.8", default-features = false, features = ["std", "std_rng", "small_rng"] }#' \
+      -e 's#^proptest = .*#proptest = "1"#' \
+      -e 's#^criterion = .*#criterion = "0.5"#' \
+      -e 's#^crossbeam = .*#crossbeam = "0.8"#' \
+      -e 's#^parking_lot = .*#parking_lot = "0.12"#' \
+      -e 's#^bytes = .*#bytes = "1"#' \
+      Cargo.toml
+    ;;
+  *)
+    echo "usage: toggle.sh stubs|real" >&2
+    exit 2
+    ;;
+esac
+rm -f Cargo.lock
+grep -E '^(rand|proptest|criterion|crossbeam|parking_lot|bytes) =' Cargo.toml

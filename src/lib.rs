@@ -64,7 +64,7 @@ pub use xsim_proc as proc;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use xsim_ckpt::{CampaignResult, Checkpoint, CheckpointManager, Orchestrator};
-    pub use xsim_core::{ExitKind, Rank, SimError, SimReport, SimTime};
+    pub use xsim_core::{EngineKind, EngineProfile, ExitKind, Rank, SimError, SimReport, SimTime};
     pub use xsim_fault::{FailureModel, FailureSchedule, FaultSchedule, NetReliability};
     pub use xsim_fs::{FsModel, FsStore};
     pub use xsim_mpi::{

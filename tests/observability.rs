@@ -125,6 +125,12 @@ fn metrics_are_engine_independent() {
     let b = run(3);
     let (ma, mb) = (a.metrics.unwrap(), b.metrics.unwrap());
     for id in 0..xsim::obs::SPEC.len() {
+        // Volatile metrics (window counts, steal counts, barrier waits…)
+        // describe the execution shape, which legitimately varies with
+        // the worker count; everything else must match exactly.
+        if xsim::obs::SPEC[id].volatile {
+            continue;
+        }
         assert_eq!(
             ma.set.value(id),
             mb.set.value(id),
