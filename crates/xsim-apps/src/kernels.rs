@@ -80,6 +80,41 @@ pub fn pingpong(rounds: u32, payload: usize) -> Arc<dyn VpProgram> {
     })
 }
 
+/// Point-to-point storm: every rank exchanges `rounds` messages with
+/// one partner per stride (`rank ± stride`, so the machine-wide pair
+/// set covers many distinct routes). Each round every rank posts its
+/// receives, sends, then waits — a dense traffic pattern whose
+/// fault-window cost is dominated by per-message route computation,
+/// which is exactly what the epoch-keyed route cache targets.
+pub fn p2p_storm(rounds: u32, strides: Vec<usize>, payload: usize) -> Arc<dyn VpProgram> {
+    let strides = Arc::new(strides);
+    mpi_program(move |mpi: MpiCtx| {
+        let strides = strides.clone();
+        async move {
+            let w = mpi.world();
+            let strides: Vec<usize> = strides
+                .iter()
+                .map(|s| s % mpi.size)
+                .filter(|&s| s != 0)
+                .collect();
+            // One shared payload for the whole storm: sends clone the
+            // refcounted handle, never the bytes.
+            let payload = Bytes::from(vec![0u8; payload]);
+            for round in 0..rounds {
+                for &s in &strides {
+                    let to = (mpi.rank + s) % mpi.size;
+                    let from = (mpi.rank + mpi.size - s) % mpi.size;
+                    let rq = mpi.irecv(w, Some(from), Some(round))?;
+                    mpi.send(w, to, round, payload.clone()).await?;
+                    mpi.wait(w, rq).await?;
+                }
+            }
+            mpi.finalize();
+            Ok(())
+        }
+    })
+}
+
 /// A trivial program: every rank sleeps once and exits. Used by the
 /// scalability bench to measure raw VP capacity (paper §II-A: xSim runs
 /// up to 2^27 MPI tasks on 960 cores).

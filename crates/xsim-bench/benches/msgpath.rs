@@ -1,0 +1,93 @@
+//! Message-pipeline benchmarks: the per-message cost of the simulated
+//! network path (routing, protocol selection, matching) under live link
+//! faults, with the epoch-keyed route cache on and off, and the linear
+//! vs. log-P collective schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xsim_apps::kernels;
+use xsim_core::SimTime;
+use xsim_mpi::{CollAlgo, SimBuilder};
+use xsim_net::{LinkFaultKind, NetFault, NetModel, Topology};
+
+/// A live (windowed) fault schedule on the given torus: a few link
+/// failures that activate and repair mid-run, plus one degraded link —
+/// enough epochs that routing stays on the slow BFS path when the cache
+/// is disabled.
+fn storm_faults(topo: &Topology) -> Vec<NetFault> {
+    let mut faults = Vec::new();
+    for (i, coord) in [[1usize, 0, 0], [3, 2, 1], [5, 5, 5], [0, 4, 2]]
+        .iter()
+        .enumerate()
+    {
+        faults.push(NetFault {
+            node: topo.node_at(*coord),
+            dir: Some(i % 6),
+            kind: LinkFaultKind::Down,
+            from: SimTime::from_millis(i as u64 * 2),
+            until: Some(SimTime::from_millis(20 + i as u64 * 5)),
+        });
+    }
+    faults.push(NetFault {
+        node: topo.node_at([2, 2, 2]),
+        dir: Some(0),
+        kind: LinkFaultKind::Degraded(0.5),
+        from: SimTime::ZERO,
+        until: None,
+    });
+    faults
+}
+
+fn storm_builder(dims: [usize; 3], cache: bool) -> SimBuilder {
+    let topo = Topology::Torus3d { dims };
+    let mut net = NetModel::paper_machine();
+    net.topology = topo;
+    // The cache switch is read when the fault table is constructed,
+    // inside `run`, so toggling the env var here selects the mode for
+    // the whole measurement.
+    std::env::set_var("XSIM_NET_ROUTE_CACHE", if cache { "on" } else { "off" });
+    SimBuilder::new(dims[0] * dims[1] * dims[2])
+        .net(net)
+        .net_faults(storm_faults(&Topology::Torus3d { dims }))
+}
+
+fn bench_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgpath/p2p_storm_faulty_torus");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    let dims = [8, 8, 8];
+    for (label, cache) in [("route_cache_on", true), ("route_cache_off", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                // Strides put partners 3–8 hops away on the 8³ torus.
+                storm_builder(dims, cache)
+                    .run(kernels::p2p_storm(4, vec![36, 9, 18, 27], 512))
+                    .unwrap()
+            });
+        });
+    }
+    std::env::remove_var("XSIM_NET_ROUTE_CACHE");
+    g.finish();
+}
+
+fn bench_collective_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgpath/collective_schedules");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for (label, algo) in [("linear", CollAlgo::Linear), ("tree", CollAlgo::Tree)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                SimBuilder::new(256)
+                    .net(NetModel::small(256))
+                    .collectives(algo)
+                    .run(kernels::compute_allreduce(5, 64, SimTime::from_micros(10)))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_storm, bench_collective_schedules);
+criterion_main!(benches);

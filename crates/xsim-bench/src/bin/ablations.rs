@@ -13,7 +13,9 @@ use xsim_bench::{apply_env_faults, paper_builder};
 use xsim_core::vp::VpProgram;
 use xsim_core::SimTime;
 use xsim_fs::FsModel;
-use xsim_mpi::{mpi_program, Detector, ErrHandler, LossyTransport, MpiCtx, SimBuilder};
+use xsim_mpi::{
+    mpi_program, CollAlgo, Detector, ErrHandler, LossyTransport, MpiCtx, ReduceOp, SimBuilder,
+};
 use xsim_net::{LinkFaultKind, NetFault, NetModel, Topology};
 use xsim_obs::ids;
 
@@ -24,53 +26,87 @@ fn run_virtual(n: usize, program: Arc<dyn VpProgram>) -> SimTime {
         .exit_time()
 }
 
+/// One metered collective run: returns the virtual time, simulated
+/// message count and mean host wall-time per message (µs).
+fn coll_run(n: usize, algo: CollAlgo, program: Arc<dyn VpProgram>) -> (SimTime, u64, f64) {
+    let t = std::time::Instant::now();
+    let report = apply_env_faults(
+        SimBuilder::new(n)
+            .net(NetModel::small(n))
+            .collectives(algo)
+            .metrics(true),
+    )
+    .run(program)
+    .unwrap();
+    let wall = t.elapsed();
+    let msgs = xsim_bench::messages_moved(&report).unwrap_or(0);
+    let per_us = xsim_bench::per_message_wall(&report, wall).map_or(0.0, |s| s * 1e6);
+    (report.exit_time(), msgs, per_us)
+}
+
 fn section_collectives() {
-    println!("## Linear vs binomial-tree collectives (virtual time of 1 op)");
     println!(
-        "{:>8} {:>16} {:>16} {:>16} {:>16}",
-        "ranks", "barrier linear", "barrier tree", "bcast64K linear", "bcast64K tree"
+        "## Linear vs log-P collective schedules (one op: virtual time, simulated \
+         messages, mean host µs/message)"
     );
-    for n in [64usize, 512, 4096] {
-        let b_lin = run_virtual(
-            n,
+    println!(
+        "{:>14} {:>6} {:>14} {:>14} {:>7} {:>14} {:>16}",
+        "op", "ranks", "linear vt", "tree vt", "vt x", "msgs lin>tree", "µs/msg lin>tree"
+    );
+    let ops: Vec<(&str, Arc<dyn VpProgram>)> = vec![
+        (
+            "barrier",
             mpi_program(|mpi: MpiCtx| async move {
                 mpi.barrier(mpi.world()).await?;
                 mpi.finalize();
                 Ok(())
             }),
-        );
-        let b_tree = run_virtual(
-            n,
-            mpi_program(|mpi: MpiCtx| async move {
-                xsim_mpi::collective::barrier_tree(mpi.world().id).await?;
-                mpi.finalize();
-                Ok(())
-            }),
-        );
-        let c_lin = run_virtual(
-            n,
+        ),
+        (
+            "bcast 64K",
             mpi_program(|mpi: MpiCtx| async move {
                 mpi.bcast(mpi.world(), 0, Bytes::from(vec![0u8; 64 * 1024]))
                     .await?;
                 mpi.finalize();
                 Ok(())
             }),
-        );
-        let c_tree = run_virtual(
-            n,
+        ),
+        (
+            "allreduce 64",
             mpi_program(|mpi: MpiCtx| async move {
-                xsim_mpi::collective::bcast_tree(
-                    mpi.world().id,
-                    0,
-                    Bytes::from(vec![0u8; 64 * 1024]),
-                )
-                .await?;
+                let data = vec![mpi.rank as f64; 64];
+                mpi.allreduce_f64(mpi.world(), &data, ReduceOp::Sum).await?;
                 mpi.finalize();
                 Ok(())
             }),
-        );
-        println!("{n:>8} {b_lin:>16} {b_tree:>16} {c_lin:>16} {c_tree:>16}");
+        ),
+        (
+            "allgather 1K",
+            mpi_program(|mpi: MpiCtx| async move {
+                mpi.allgather(mpi.world(), Bytes::from(vec![0u8; 1024]))
+                    .await?;
+                mpi.finalize();
+                Ok(())
+            }),
+        ),
+    ];
+    for (label, program) in ops {
+        for n in [64usize, 512, 4096] {
+            let (lin_vt, lin_msgs, lin_us) = coll_run(n, CollAlgo::Linear, program.clone());
+            let (tree_vt, tree_msgs, tree_us) = coll_run(n, CollAlgo::Tree, program.clone());
+            println!(
+                "{label:>14} {n:>6} {lin_vt:>14} {tree_vt:>14} {:>6.1}x {:>14} {:>16}",
+                lin_vt.as_secs_f64() / tree_vt.as_secs_f64().max(1e-12),
+                format!("{lin_msgs}>{tree_msgs}"),
+                format!("{lin_us:.1}>{tree_us:.1}"),
+            );
+        }
     }
+    println!(
+        "  (tree = binomial barrier/bcast/reduce/allreduce and ring allgather:\n   \
+         O(log P) rounds — resp. O(P) pipelined — instead of a serialized\n   \
+         root fan-out)"
+    );
     println!();
 }
 

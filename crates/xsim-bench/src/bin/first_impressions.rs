@@ -15,7 +15,8 @@
 
 use xsim_apps::heat3d::{self, HeatConfig};
 use xsim_bench::{
-    apply_env_faults, paper_builder, parse_flags, table2_config, write_profile, Scale,
+    apply_env_faults, messages_moved, paper_builder, parse_flags, per_message_wall, table2_config,
+    write_profile, Scale,
 };
 use xsim_ckpt::CheckpointManager;
 use xsim_core::{ExitKind, SimTime};
@@ -60,14 +61,19 @@ fn main() {
 
     // The "clean" run honors XSIM_FAILURES / XSIM_NET_FAULTS so the
     // narrative can be perturbed from the environment.
+    // Metrics stay on for the clean run so its per-message host cost can
+    // be reported (deterministic counters don't perturb virtual time).
     let mut builder =
-        apply_env_faults(paper_builder(&cfg, flags.workers, flags.seed).fs_model(fs_model));
+        apply_env_faults(paper_builder(&cfg, flags.workers, flags.seed).fs_model(fs_model))
+            .metrics(true);
     if flags.profile.is_some() {
-        builder = builder.trace(true).metrics(true);
+        builder = builder.trace(true);
     }
+    let wall_t = std::time::Instant::now();
     let clean = builder
         .run(heat3d::program(cfg.clone()))
         .expect("clean run");
+    let wall = wall_t.elapsed();
     assert_eq!(clean.sim.exit, ExitKind::Completed);
     if let Some(p) = &flags.profile {
         write_profile(&clean, p);
@@ -81,6 +87,14 @@ fn main() {
         clean.exit_time(),
         compute
     );
+    if let Some(per_msg) = per_message_wall(&clean, wall) {
+        println!(
+            "    host cost: {} simulated messages in {wall:.2?} wall \
+             ({:.2} µs mean per message)",
+            messages_moved(&clean).unwrap_or(0),
+            per_msg * 1e6
+        );
+    }
     println!();
 
     // Probe: a mid-compute failure in period 1 activates exactly at the

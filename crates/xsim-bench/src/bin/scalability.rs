@@ -11,13 +11,18 @@
 //! With `--bench-engine` it instead runs the parallel-engine worker
 //! scaling sweep (4k and 64k VPs × 1/2/4/8 workers) and writes the
 //! measured events/s and speedups to `BENCH_engine.json`.
+//!
+//! With `--bench-msgpath` it runs a fault-active point-to-point storm
+//! on the paper's 32³ torus with the epoch-keyed route cache enabled
+//! vs. disabled and writes the wall times, per-message means and
+//! speedup to `BENCH_msgpath.json`.
 
 use std::fmt::Write as _;
 use xsim_apps::kernels;
 use xsim_bench::{apply_env_faults, parse_flags, peak_rss_kib, write_profile};
 use xsim_core::SimTime;
 use xsim_mpi::SimBuilder;
-use xsim_net::{NetModel, Topology};
+use xsim_net::{LinkFaultKind, NetFault, NetModel, Topology};
 
 fn torus_for(n: usize) -> Topology {
     // n is a power of two: split the exponent across three dimensions.
@@ -93,10 +98,118 @@ fn bench_engine() {
     println!("\nwrote BENCH_engine.json");
 }
 
+/// The `--bench-msgpath` sweep: a point-to-point storm on the paper's
+/// 32³ torus with link faults active for the whole run, measured with
+/// the epoch-keyed route cache enabled and disabled
+/// (`XSIM_NET_ROUTE_CACHE=off` reproduces the pre-cache message path,
+/// where every fault-window send recomputes its route). Writes the wall
+/// times, per-message means and the speedup to `BENCH_msgpath.json`.
+fn bench_msgpath(workers: usize) {
+    let dims = [32usize, 32, 32];
+    let topo = Topology::Torus3d { dims };
+    // Faults active from t=0 for the whole run: two dead links (traffic
+    // crossing them must BFS a detour) and one half-bandwidth link.
+    let faults = vec![
+        NetFault {
+            node: topo.node_at([1, 0, 0]),
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        },
+        NetFault {
+            node: topo.node_at([7, 9, 11]),
+            dir: Some(2),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        },
+        NetFault {
+            node: topo.node_at([16, 16, 16]),
+            dir: Some(4),
+            kind: LinkFaultKind::Degraded(0.5),
+            from: SimTime::ZERO,
+            until: None,
+        },
+    ];
+    // Storm ranks occupy the first z-planes of the 32k-node torus
+    // (rank→node is 1:1 on the paper machine); the strides put every
+    // pair ~32 hops apart, so an uncached fault-window route pays a
+    // near-full BFS over all 32768 nodes. Metrics stay off in the timed
+    // runs (identical recording cost would dilute the routing contrast);
+    // the deterministic message count is rounds × strides × ranks.
+    let ranks = 4096usize;
+    let (rounds, payload) = (32u32, 256usize);
+    let strides = vec![16 + 16 * dims[0], 13 + 10 * dims[0]];
+    let msgs = rounds as u64 * strides.len() as u64 * ranks as u64;
+    let mut json = String::new();
+    json.push_str("{\"schema\":\"xsim-bench-msgpath-v1\"");
+    let _ = write!(
+        json,
+        ",\"workload\":\"p2p_storm(rounds={rounds},strides={strides:?},payload={payload}) \
+         {ranks} ranks on the 32x32x32 torus, 3 live faults\",\"host_cpus\":{},\"workers\":{workers}",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
+    json.push_str(",\"results\":[");
+    println!(
+        "{:>16} {:>10} {:>12} {:>14} {:>10}",
+        "route cache", "wall", "messages", "wall/msg", "speedup"
+    );
+    let mut base_wall = 0.0f64;
+    let mut first = true;
+    for (label, cache) in [("off", false), ("on", true)] {
+        std::env::set_var("XSIM_NET_ROUTE_CACHE", if cache { "on" } else { "off" });
+        let t = std::time::Instant::now();
+        SimBuilder::new(ranks)
+            .net({
+                let mut net = NetModel::paper_machine();
+                net.topology = topo.clone();
+                net
+            })
+            .net_faults(faults.clone())
+            .workers(workers)
+            .run(kernels::p2p_storm(rounds, strides.clone(), payload))
+            .expect("bench-msgpath run");
+        let wall = t.elapsed();
+        let per_msg = wall.as_secs_f64() / msgs as f64;
+        if !cache {
+            base_wall = wall.as_secs_f64();
+        }
+        let speedup = base_wall / wall.as_secs_f64();
+        println!(
+            "{:>16} {:>10.2?} {:>12} {:>12.2}µs {:>9.2}x",
+            label,
+            wall,
+            msgs,
+            per_msg * 1e6,
+            speedup
+        );
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "{{\"route_cache\":\"{label}\",\"wall_us\":{},\"messages\":{msgs},\
+             \"wall_per_msg_ns\":{:.0},\"speedup_vs_uncached\":{speedup:.3}}}",
+            wall.as_micros(),
+            per_msg * 1e9
+        );
+    }
+    std::env::remove_var("XSIM_NET_ROUTE_CACHE");
+    json.push_str("]}");
+    std::fs::write("BENCH_msgpath.json", &json).expect("write BENCH_msgpath.json");
+    println!("\nwrote BENCH_msgpath.json");
+}
+
 fn main() {
     let flags = parse_flags();
     if flags.bench_engine {
         bench_engine();
+        return;
+    }
+    if flags.bench_msgpath {
+        bench_msgpath(flags.workers);
         return;
     }
     // When profiling, trace+meter the smallest ring run (the larger ones

@@ -33,6 +33,9 @@ pub fn paper_builder(cfg: &HeatConfig, workers: usize, seed: u64) -> SimBuilder 
     SimBuilder::new(cfg.n_ranks())
         .net(net)
         .proc(ProcModel::with_slowdown(1000.0))
+        // "MPI collectives utilize linear algorithms" (§V-C) — pinned
+        // here because the builder default is the tree schedules.
+        .collectives(xsim_mpi::CollAlgo::Linear)
         .workers(workers)
         .seed(seed)
 }
@@ -142,6 +145,7 @@ pub fn parse_flags() -> Flags {
             "--quick" => flags.scale = Scale::Quick,
             "--net-faults" => flags.net_faults = true,
             "--bench-engine" => flags.bench_engine = true,
+            "--bench-msgpath" => flags.bench_msgpath = true,
             "--workers" => {
                 flags.workers = args
                     .next()
@@ -157,7 +161,7 @@ pub fn parse_flags() -> Flags {
             other => {
                 eprintln!(
                     "unknown flag {other}; known: --quick --net-faults --bench-engine \
-                     --workers N --seed N --profile out.json"
+                     --bench-msgpath --workers N --seed N --profile out.json"
                 );
                 std::process::exit(2);
             }
@@ -176,6 +180,10 @@ pub struct Flags {
     /// Run the parallel-engine scaling sweep and emit
     /// `BENCH_engine.json` (`--bench-engine`, `scalability` bin only).
     pub bench_engine: bool,
+    /// Run the message-path sweep (fault-active p2p storm, route cache
+    /// on vs. off) and emit `BENCH_msgpath.json` (`--bench-msgpath`,
+    /// `scalability` bin only).
+    pub bench_msgpath: bool,
     /// Native worker threads.
     pub workers: usize,
     /// Master seed.
@@ -191,6 +199,7 @@ impl Default for Flags {
             scale: Scale::Paper,
             net_faults: false,
             bench_engine: false,
+            bench_msgpath: false,
             workers: 1,
             // Default chosen so both MTTF groups of Table II experience
             // failures in their first run (any seed is valid; the runs
@@ -199,6 +208,21 @@ impl Default for Flags {
             profile: None,
         }
     }
+}
+
+/// Total simulated messages moved by a metered run (eager +
+/// rendezvous), or `None` when metrics were off.
+pub fn messages_moved(report: &RunReport) -> Option<u64> {
+    let set = &report.metrics.as_ref()?.set;
+    Some(set.value(xsim_obs::ids::NET_MSGS_EAGER) + set.value(xsim_obs::ids::NET_MSGS_RENDEZVOUS))
+}
+
+/// Mean host wall-time per simulated message: the headline number of the
+/// message-pipeline optimization work. `None` when metrics were off or
+/// the run moved no messages.
+pub fn per_message_wall(report: &RunReport, wall: std::time::Duration) -> Option<f64> {
+    let msgs = messages_moved(report)?;
+    (msgs > 0).then(|| wall.as_secs_f64() / msgs as f64)
 }
 
 /// Write the profile of a traced+metered run: the merged Chrome trace to

@@ -172,7 +172,7 @@ impl SimBuilder {
             lossy: None,
             notify_delay: None,
             detector: Detector::Timeout,
-            coll_algo: CollAlgo::Linear,
+            coll_algo: CollAlgo::Tree,
             power: None,
             trace: false,
             metrics: false,
@@ -345,9 +345,11 @@ impl SimBuilder {
         self
     }
 
-    /// Select the collective algorithms (default: the paper's linear
-    /// algorithms, §V-C; `CollAlgo::Tree` switches barrier/bcast to
-    /// binomial trees).
+    /// Select the collective algorithms. The default is
+    /// `CollAlgo::Tree` (binomial barrier/bcast/reduce + ring
+    /// allgather); pass `CollAlgo::Linear` to reproduce the paper's
+    /// simulated system, which configures linear algorithms (§V-C) —
+    /// the paper-fidelity benchmarks pin that explicitly.
     pub fn collectives(mut self, algo: CollAlgo) -> Self {
         self.coll_algo = algo;
         self
@@ -390,7 +392,7 @@ impl SimBuilder {
     /// Run an arbitrary [`VpProgram`].
     pub fn run(self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
         self.net.validate(self.n_ranks).map_err(SimError::Config)?;
-        let net = if self.net_faults.is_empty() {
+        let mut net = if self.net_faults.is_empty() {
             self.net
         } else {
             // Rerouting only lengthens routes and degradation only lowers
@@ -402,6 +404,10 @@ impl SimBuilder {
             }
             self.net.with_faults(table)
         };
+        // The topology is final here: materialize the dense healthy hop
+        // table (small tori/meshes only) so the no-fault message path is
+        // a pure lookup.
+        net.precompute_hops();
         let lossy = self.lossy.map(|mut l| {
             if l.seed == 0 {
                 l.seed = self.seed;
@@ -543,6 +549,16 @@ impl SimBuilder {
             m.set
                 .add(metric_ids::ENGINE_BATCHED_EVENTS, p.batched_events);
             m.set.add(metric_ids::ENGINE_BATCH_MAX, p.batch_max_events);
+            // Route-cache effectiveness, read back from the shared fault
+            // table. Volatile: shards can race to fill the same entry,
+            // so the counts (not the routes) vary with scheduling.
+            if let Some(table) = &world.net.faults {
+                let s = table.route_cache_stats();
+                m.set.add(metric_ids::NET_ROUTE_CACHE_HITS, s.hits);
+                m.set.add(metric_ids::NET_ROUTE_CACHE_MISSES, s.misses);
+                m.set
+                    .add(metric_ids::NET_ROUTE_CACHE_EVICTIONS, s.evictions);
+            }
         }
         let trace = trace_enabled.then(|| {
             let mut events: Vec<TraceEvent> = std::mem::take(&mut trace_sink.lock());

@@ -16,6 +16,26 @@ use crate::p2p;
 use crate::state::MpiService;
 use bytes::{BufMut, Bytes, BytesMut};
 use xsim_core::ctx;
+use xsim_obs::ids as metric_ids;
+use xsim_obs::service as obs;
+
+/// Account payload movement on the collective message path: `clones`
+/// cheap reference-count bumps (fan-outs sharing one buffer) and
+/// `copied` bytes physically copied host-side (packing). Both counts are
+/// program-order deterministic, so they are part of the `to_json(None)`
+/// snapshot.
+fn note_payload(clones: u64, copied: u64) {
+    ctx::with_kernel(|k, _| {
+        if obs::enabled(k) {
+            if clones > 0 {
+                obs::record(k, metric_ids::MPI_PAYLOAD_CLONES, clones);
+            }
+            if copied > 0 {
+                obs::record(k, metric_ids::MPI_PAYLOAD_COPY_BYTES, copied);
+            }
+        }
+    });
+}
 
 /// Tag space reserved for collective-internal messages; user tags must
 /// stay below this value.
@@ -100,6 +120,7 @@ pub async fn bcast(comm: CommId, root: usize, data: Bytes) -> Result<Bytes, MpiE
         return Ok(data);
     }
     if me == root {
+        note_payload(size as u64 - 1, 0);
         for r in 0..size {
             if r != root {
                 p2p::send_raw(comm, r, tag, data.clone()).await?;
@@ -123,14 +144,13 @@ pub async fn gather(
         let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
         let mut reqs = Vec::with_capacity(size - 1);
         let mut idxs = Vec::with_capacity(size - 1);
-        for (r, slot) in parts.iter_mut().enumerate() {
-            if r == root {
-                *slot = data.clone();
-            } else {
+        for r in 0..size {
+            if r != root {
                 reqs.push(p2p::irecv_raw(comm, Some(r), Some(tag))?);
                 idxs.push(r);
             }
         }
+        parts[root] = data; // the root's own contribution moves in
         let outs = p2p::waitall_raw(&reqs).await?;
         for (i, out) in idxs.into_iter().zip(outs) {
             parts[i] = out.expect("gather receives carry payloads").data;
@@ -151,16 +171,18 @@ pub async fn scatter(
 ) -> Result<Bytes, MpiError> {
     let (me, size, tag) = coll_begin(comm)?;
     if me == root {
-        let parts = parts.ok_or(MpiError::Invalid("scatter root must provide parts"))?;
+        let mut parts = parts.ok_or(MpiError::Invalid("scatter root must provide parts"))?;
         if parts.len() != size {
             return Err(MpiError::Invalid("scatter parts must match comm size"));
         }
+        note_payload(size as u64 - 1, 0);
         for (r, part) in parts.iter().enumerate() {
             if r != root {
                 p2p::send_raw(comm, r, tag, part.clone()).await?;
             }
         }
-        Ok(parts[root].clone())
+        // The root's own part moves out — no residual clone.
+        Ok(parts.swap_remove(root))
     } else {
         Ok(p2p::recv_raw(comm, Some(root), Some(tag)).await?.data)
     }
@@ -171,7 +193,11 @@ pub async fn scatter(
 pub async fn allgather(comm: CommId, data: Bytes) -> Result<Vec<Bytes>, MpiError> {
     let gathered = gather(comm, 0, data).await?;
     let packed = match gathered {
-        Some(parts) => encode_multi(&parts),
+        Some(parts) => {
+            let packed = encode_multi(&parts);
+            note_payload(0, packed.len() as u64); // pack = the one real copy
+            packed
+        }
         None => Bytes::new(),
     };
     let packed = bcast(comm, 0, packed).await?;
@@ -192,6 +218,7 @@ pub async fn alltoall(comm: CommId, parts: Vec<Bytes>) -> Result<Vec<Bytes>, Mpi
             recv_reqs.push((r, p2p::irecv_raw(comm, Some(r), Some(tag))?));
         }
     }
+    note_payload(size as u64, 0); // size-1 sends + the local self-part, all shared
     for (r, part) in parts.iter().enumerate() {
         if r != me {
             // Sends drain on their own: eager sends complete locally,
@@ -219,22 +246,36 @@ pub async fn reduce_f64(
 ) -> Result<Option<Vec<f64>>, MpiError> {
     let (me, size, tag) = coll_begin(comm)?;
     if me == root {
-        let mut acc: Vec<f64> = data.to_vec();
+        // The accumulator reuses the first received decode in place of a
+        // `data.to_vec()` copy; the combine order is the same linear
+        // rank order 0..size as before (fold(acc, next)), so the f64
+        // result is bit-identical to the copying implementation.
+        let mut acc: Option<Vec<f64>> = None;
         for r in 0..size {
             if r == root {
                 continue;
             }
             let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
-            let other =
+            let mut other =
                 bytes_to_f64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
-            if other.len() != acc.len() {
+            if other.len() != data.len() {
                 return Err(MpiError::Invalid("reduce payload length mismatch"));
             }
-            for (a, b) in acc.iter_mut().zip(other) {
-                *a = op.fold_f64(*a, b);
+            match acc.as_mut() {
+                None => {
+                    for (o, d) in other.iter_mut().zip(data) {
+                        *o = op.fold_f64(*d, *o);
+                    }
+                    acc = Some(other);
+                }
+                Some(a) => {
+                    for (x, o) in a.iter_mut().zip(other) {
+                        *x = op.fold_f64(*x, o);
+                    }
+                }
             }
         }
-        Ok(Some(acc))
+        Ok(Some(acc.unwrap_or_else(|| data.to_vec())))
     } else {
         p2p::send_raw(comm, root, tag, f64_to_bytes(data)).await?;
         Ok(None)
@@ -261,22 +302,33 @@ pub async fn reduce_u64(
 ) -> Result<Option<Vec<u64>>, MpiError> {
     let (me, size, tag) = coll_begin(comm)?;
     if me == root {
-        let mut acc: Vec<u64> = data.to_vec();
+        // Same copy-free accumulator as `reduce_f64`.
+        let mut acc: Option<Vec<u64>> = None;
         for r in 0..size {
             if r == root {
                 continue;
             }
             let msg = p2p::recv_raw(comm, Some(r), Some(tag)).await?;
-            let other =
+            let mut other =
                 bytes_to_u64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
-            if other.len() != acc.len() {
+            if other.len() != data.len() {
                 return Err(MpiError::Invalid("reduce payload length mismatch"));
             }
-            for (a, b) in acc.iter_mut().zip(other) {
-                *a = op.fold_u64(*a, b);
+            match acc.as_mut() {
+                None => {
+                    for (o, d) in other.iter_mut().zip(data) {
+                        *o = op.fold_u64(*d, *o);
+                    }
+                    acc = Some(other);
+                }
+                Some(a) => {
+                    for (x, o) in a.iter_mut().zip(other) {
+                        *x = op.fold_u64(*x, o);
+                    }
+                }
             }
         }
-        Ok(Some(acc))
+        Ok(Some(acc.unwrap_or_else(|| data.to_vec())))
     } else {
         p2p::send_raw(comm, root, tag, u64_to_bytes(data)).await?;
         Ok(None)
@@ -320,6 +372,7 @@ pub async fn bcast_tree(comm: CommId, root: usize, data: Bytes) -> Result<Bytes,
     } else {
         vrank & vrank.wrapping_neg()
     };
+    note_payload(tree_children(vrank, size) as u64, 0);
     let mut bit = 1;
     while bit < lowbit && bit < size {
         let child_v = vrank | bit;
@@ -359,6 +412,233 @@ pub async fn barrier_tree(comm: CommId) -> Result<(), MpiError> {
     Ok(())
 }
 
+/// Binomial-tree reduce of `f64` vectors to `root`. O(log P) rounds; the
+/// combine order at every node is fixed (own data, then children in
+/// increasing bit order), so for a given communicator the result is
+/// deterministic regardless of message arrival order — each receive
+/// blocks on its specific `(source, tag)` pair.
+pub async fn reduce_f64_tree(
+    comm: CommId,
+    root: usize,
+    data: &[f64],
+    op: ReduceOp,
+) -> Result<Option<Vec<f64>>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    let vrank = (me + size - root) % size;
+    let mut acc: Option<Vec<f64>> = None;
+    let lowbit = if vrank == 0 {
+        size.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let mut bit = 1;
+    while bit < lowbit && bit < size {
+        let child_v = vrank | bit;
+        if child_v < size {
+            let child = (child_v + root) % size;
+            let msg = p2p::recv_raw(comm, Some(child), Some(tag)).await?;
+            let mut other =
+                bytes_to_f64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            if other.len() != data.len() {
+                return Err(MpiError::Invalid("reduce payload length mismatch"));
+            }
+            match acc.as_mut() {
+                None => {
+                    for (o, d) in other.iter_mut().zip(data) {
+                        *o = op.fold_f64(*d, *o);
+                    }
+                    acc = Some(other);
+                }
+                Some(a) => {
+                    for (x, o) in a.iter_mut().zip(other) {
+                        *x = op.fold_f64(*x, o);
+                    }
+                }
+            }
+        }
+        bit <<= 1;
+    }
+    if vrank == 0 {
+        Ok(Some(acc.unwrap_or_else(|| data.to_vec())))
+    } else {
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + root) % size;
+        let packed = match &acc {
+            Some(a) => f64_to_bytes(a),
+            None => f64_to_bytes(data),
+        };
+        p2p::send_raw(comm, parent, tag, packed).await?;
+        Ok(None)
+    }
+}
+
+/// Binomial-tree reduce of `u64` vectors to `root`. See
+/// [`reduce_f64_tree`] for the schedule and determinism notes.
+pub async fn reduce_u64_tree(
+    comm: CommId,
+    root: usize,
+    data: &[u64],
+    op: ReduceOp,
+) -> Result<Option<Vec<u64>>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    let vrank = (me + size - root) % size;
+    let mut acc: Option<Vec<u64>> = None;
+    let lowbit = if vrank == 0 {
+        size.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let mut bit = 1;
+    while bit < lowbit && bit < size {
+        let child_v = vrank | bit;
+        if child_v < size {
+            let child = (child_v + root) % size;
+            let msg = p2p::recv_raw(comm, Some(child), Some(tag)).await?;
+            let mut other =
+                bytes_to_u64(&msg.data).ok_or(MpiError::Invalid("reduce payload size mismatch"))?;
+            if other.len() != data.len() {
+                return Err(MpiError::Invalid("reduce payload length mismatch"));
+            }
+            match acc.as_mut() {
+                None => {
+                    for (o, d) in other.iter_mut().zip(data) {
+                        *o = op.fold_u64(*d, *o);
+                    }
+                    acc = Some(other);
+                }
+                Some(a) => {
+                    for (x, o) in a.iter_mut().zip(other) {
+                        *x = op.fold_u64(*x, o);
+                    }
+                }
+            }
+        }
+        bit <<= 1;
+    }
+    if vrank == 0 {
+        Ok(Some(acc.unwrap_or_else(|| data.to_vec())))
+    } else {
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + root) % size;
+        let packed = match &acc {
+            Some(a) => u64_to_bytes(a),
+            None => u64_to_bytes(data),
+        };
+        p2p::send_raw(comm, parent, tag, packed).await?;
+        Ok(None)
+    }
+}
+
+/// Tree allreduce of `f64` vectors: binomial reduce to rank 0, then
+/// binomial broadcast. 2·⌈log₂ P⌉ rounds.
+pub async fn allreduce_f64_tree(
+    comm: CommId,
+    data: &[f64],
+    op: ReduceOp,
+) -> Result<Vec<f64>, MpiError> {
+    let reduced = reduce_f64_tree(comm, 0, data, op).await?;
+    let packed = match reduced {
+        Some(v) => f64_to_bytes(&v),
+        None => Bytes::new(),
+    };
+    let packed = bcast_tree(comm, 0, packed).await?;
+    bytes_to_f64(&packed).ok_or(MpiError::Invalid("corrupt allreduce payload"))
+}
+
+/// Tree allreduce of `u64` vectors.
+pub async fn allreduce_u64_tree(
+    comm: CommId,
+    data: &[u64],
+    op: ReduceOp,
+) -> Result<Vec<u64>, MpiError> {
+    let reduced = reduce_u64_tree(comm, 0, data, op).await?;
+    let packed = match reduced {
+        Some(v) => u64_to_bytes(&v),
+        None => Bytes::new(),
+    };
+    let packed = bcast_tree(comm, 0, packed).await?;
+    bytes_to_u64(&packed).ok_or(MpiError::Invalid("corrupt allreduce payload"))
+}
+
+/// Ring allgather: P−1 rounds; in round `s` every member forwards the
+/// block it received in round `s−1` to its right neighbour and receives
+/// a new block from its left neighbour. No packing — every block travels
+/// as a shared-buffer clone, and unlike the gather+bcast composition no
+/// rank ever holds the O(P·bytes) packed payload.
+///
+/// Receives match FIFO by sequence number per `(source, tag)`, so
+/// reusing one tag across all rounds cannot mis-order blocks.
+pub async fn allgather_ring(comm: CommId, data: Bytes) -> Result<Vec<Bytes>, MpiError> {
+    let (me, size, tag) = coll_begin(comm)?;
+    let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
+    parts[me] = data;
+    if size <= 1 {
+        return Ok(parts);
+    }
+    let right = (me + 1) % size;
+    let left = (me + size - 1) % size;
+    note_payload(size as u64 - 1, 0);
+    for step in 0..size - 1 {
+        let send_idx = (me + size - step) % size;
+        let recv_idx = (me + size - step - 1) % size;
+        // The send drains on its own (eager locally, rendezvous with the
+        // neighbour's matching receive) — same pattern as `alltoall`.
+        let _ = p2p::isend_raw(comm, right, tag, parts[send_idx].clone()).await?;
+        parts[recv_idx] = p2p::recv_raw(comm, Some(left), Some(tag)).await?.data;
+    }
+    Ok(parts)
+}
+
+// ----------------------------------------------------------------------
+// Schedule arithmetic (shared by the implementations and the tests)
+// ----------------------------------------------------------------------
+
+/// Number of children of virtual rank `vrank` in a binomial tree over
+/// `size` members rooted at virtual rank 0.
+pub fn tree_children(vrank: usize, size: usize) -> usize {
+    let lowbit = if vrank == 0 {
+        size.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let mut n = 0;
+    let mut bit = 1;
+    while bit < lowbit && bit < size {
+        if (vrank | bit) < size {
+            n += 1;
+        }
+        bit <<= 1;
+    }
+    n
+}
+
+/// Depth of virtual rank `vrank` in the binomial tree (rounds before its
+/// data can reach the root): the number of set bits, because each hop to
+/// the parent clears exactly the lowest one.
+pub fn tree_depth(vrank: usize) -> u32 {
+    vrank.count_ones()
+}
+
+/// Communication rounds for a binomial-tree collective over `size`
+/// members: ⌈log₂ size⌉.
+pub fn tree_rounds(size: usize) -> u32 {
+    if size <= 1 {
+        0
+    } else {
+        usize::BITS - (size - 1).leading_zeros()
+    }
+}
+
+/// Rounds for a linear root fan-out: P−1 serialized messages.
+pub fn linear_rounds(size: usize) -> u32 {
+    size.saturating_sub(1) as u32
+}
+
+/// Rounds for the ring allgather: P−1, each moving one block per member.
+pub fn ring_rounds(size: usize) -> u32 {
+    size.saturating_sub(1) as u32
+}
+
 // ----------------------------------------------------------------------
 // Payload packing helpers
 // ----------------------------------------------------------------------
@@ -376,7 +656,9 @@ pub fn encode_multi(parts: &[Bytes]) -> Bytes {
 }
 
 /// Unpack a [`encode_multi`] payload. Returns `None` on malformed input.
-pub fn decode_multi(data: &[u8]) -> Option<Vec<Bytes>> {
+/// The returned parts are zero-copy sub-slices sharing the packed
+/// buffer's allocation.
+pub fn decode_multi(data: &Bytes) -> Option<Vec<Bytes>> {
     if data.len() < 4 {
         return None;
     }
@@ -392,7 +674,7 @@ pub fn decode_multi(data: &[u8]) -> Option<Vec<Bytes>> {
         if data.len() < off + len {
             return None;
         }
-        out.push(Bytes::copy_from_slice(&data[off..off + len]));
+        out.push(data.slice(off..off + len));
         off += len;
     }
     (off == data.len()).then_some(out)
@@ -457,14 +739,14 @@ mod tests {
 
     #[test]
     fn multi_rejects_malformed() {
-        assert!(decode_multi(&[]).is_none());
-        assert!(decode_multi(&[9, 0, 0, 0]).is_none());
+        assert!(decode_multi(&Bytes::new()).is_none());
+        assert!(decode_multi(&Bytes::from(vec![9, 0, 0, 0])).is_none());
         let packed = encode_multi(&[Bytes::from_static(b"xy")]);
-        assert!(decode_multi(&packed[..packed.len() - 1]).is_none());
+        assert!(decode_multi(&packed.slice(0..packed.len() - 1)).is_none());
         // Trailing garbage is also rejected.
         let mut longer = packed.to_vec();
         longer.push(0);
-        assert!(decode_multi(&longer).is_none());
+        assert!(decode_multi(&Bytes::from(longer)).is_none());
     }
 
     #[test]
@@ -479,6 +761,45 @@ mod tests {
         let v = vec![0, 1, u64::MAX];
         assert_eq!(bytes_to_u64(&u64_to_bytes(&v)).unwrap(), v);
         assert!(bytes_to_u64(&[1]).is_none());
+    }
+
+    #[test]
+    fn tree_schedules_are_logarithmic() {
+        for exp in 1..=14u32 {
+            let size = 1usize << exp;
+            // O(log P): the binomial tree finishes in exactly log2(P)
+            // rounds at powers of two, vs. P-1 for the linear fan-out.
+            assert_eq!(tree_rounds(size), exp);
+            assert_eq!(linear_rounds(size), size as u32 - 1);
+            assert_eq!(ring_rounds(size), size as u32 - 1);
+        }
+        // Non-powers of two round up.
+        assert_eq!(tree_rounds(1), 0);
+        assert_eq!(tree_rounds(3), 2);
+        assert_eq!(tree_rounds(5), 3);
+        assert_eq!(tree_rounds(1000), 10);
+
+        // Structural check: the deepest member of the tree is exactly
+        // tree_rounds levels from the root, and every member's depth is
+        // bounded by it — the whole reduce drains in O(log P) rounds.
+        for &size in &[2usize, 3, 5, 8, 17, 64, 1000, 4096] {
+            let max_depth = (0..size).map(tree_depth).max().unwrap();
+            assert!(
+                max_depth <= tree_rounds(size),
+                "size {size}: depth {max_depth} > rounds {}",
+                tree_rounds(size)
+            );
+            if size.is_power_of_two() {
+                assert_eq!(max_depth, tree_rounds(size), "size {size}");
+            }
+        }
+
+        // The child lists tile the membership: every non-root member is
+        // the child of exactly one parent.
+        for &size in &[2usize, 3, 7, 8, 33, 100] {
+            let total: usize = (0..size).map(|v| tree_children(v, size)).sum();
+            assert_eq!(total, size - 1, "size {size}");
+        }
     }
 
     #[test]

@@ -286,7 +286,8 @@ impl MpiCtx {
     }
 
     // ------------------------------------------------------------------
-    // Collectives (linear algorithms, paper §V-C)
+    // Collectives (algorithm selected by `SimBuilder::collectives`; the
+    // paper's simulated system uses the linear ones, §V-C)
     // ------------------------------------------------------------------
 
     fn coll_algo(&self) -> crate::state::CollAlgo {
@@ -344,9 +345,14 @@ impl MpiCtx {
         self.apply(comm, r)
     }
 
-    /// Allgather (`MPI_Allgather`, linear gather + bcast).
+    /// Allgather (`MPI_Allgather`) using the configured algorithm:
+    /// linear gather + bcast, or the ring schedule under
+    /// [`CollAlgo::Tree`](crate::state::CollAlgo).
     pub async fn allgather(&self, comm: Comm, data: Bytes) -> Result<Vec<Bytes>, MpiError> {
-        let r = collective::allgather(comm.id, data).await;
+        let r = match self.coll_algo() {
+            crate::state::CollAlgo::Linear => collective::allgather(comm.id, data).await,
+            crate::state::CollAlgo::Tree => collective::allgather_ring(comm.id, data).await,
+        };
         self.apply(comm, r)
     }
 
@@ -356,7 +362,10 @@ impl MpiCtx {
         self.apply(comm, r)
     }
 
-    /// Elementwise reduce of `f64` vectors to root (`MPI_Reduce`).
+    /// Elementwise reduce of `f64` vectors to root (`MPI_Reduce`) using
+    /// the configured algorithm. Note the combine order (and so the
+    /// floating-point result for non-associative ops) depends on the
+    /// algorithm, but is deterministic within each.
     pub async fn reduce_f64(
         &self,
         comm: Comm,
@@ -364,11 +373,17 @@ impl MpiCtx {
         data: &[f64],
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>, MpiError> {
-        let r = collective::reduce_f64(comm.id, root, data, op).await;
+        let r = match self.coll_algo() {
+            crate::state::CollAlgo::Linear => collective::reduce_f64(comm.id, root, data, op).await,
+            crate::state::CollAlgo::Tree => {
+                collective::reduce_f64_tree(comm.id, root, data, op).await
+            }
+        };
         self.apply(comm, r)
     }
 
-    /// Elementwise allreduce of `f64` vectors (`MPI_Allreduce`).
+    /// Elementwise allreduce of `f64` vectors (`MPI_Allreduce`) using
+    /// the configured algorithm.
     pub async fn allreduce_f64(
         &self,
         comm: Comm,
@@ -376,7 +391,10 @@ impl MpiCtx {
         op: ReduceOp,
     ) -> Result<Vec<f64>, MpiError> {
         let t0 = self.t0();
-        let r = collective::allreduce_f64(comm.id, data, op).await;
+        let r = match self.coll_algo() {
+            crate::state::CollAlgo::Linear => collective::allreduce_f64(comm.id, data, op).await,
+            crate::state::CollAlgo::Tree => collective::allreduce_f64_tree(comm.id, data, op).await,
+        };
         self.rec(
             trace::PhaseKind::Collective,
             t0,
@@ -386,14 +404,18 @@ impl MpiCtx {
         self.apply(comm, r)
     }
 
-    /// Elementwise allreduce of `u64` vectors.
+    /// Elementwise allreduce of `u64` vectors using the configured
+    /// algorithm.
     pub async fn allreduce_u64(
         &self,
         comm: Comm,
         data: &[u64],
         op: ReduceOp,
     ) -> Result<Vec<u64>, MpiError> {
-        let r = collective::allreduce_u64(comm.id, data, op).await;
+        let r = match self.coll_algo() {
+            crate::state::CollAlgo::Linear => collective::allreduce_u64(comm.id, data, op).await,
+            crate::state::CollAlgo::Tree => collective::allreduce_u64_tree(comm.id, data, op).await,
+        };
         self.apply(comm, r)
     }
 

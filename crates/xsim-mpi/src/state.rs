@@ -39,8 +39,9 @@ pub enum CollAlgo {
     /// Linear algorithms — the paper's simulated system configuration
     /// ("MPI collectives utilize linear algorithms", §V-C).
     Linear,
-    /// Binomial-tree barrier/broadcast (ablation; reductions stay
-    /// linear).
+    /// Log-P schedules: binomial-tree barrier/bcast/reduce/allreduce
+    /// and ring allgather — O(log P) (resp. O(P) pipelined) rounds
+    /// instead of a serialized root fan-out.
     Tree,
 }
 

@@ -16,6 +16,8 @@
 
 use crate::topology::{NodeId, Topology};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use xsim_core::SimTime;
 
 /// How a faulty network component behaves while the fault is active.
@@ -70,10 +72,138 @@ impl Window {
     }
 }
 
+/// Counter snapshot of the epoch-keyed route cache (see
+/// [`LinkStateTable::route_cache_stats`]). The counts are
+/// execution-shape data: under the parallel engine two shards can race
+/// to fill the same entry, so hit/miss totals vary run to run even
+/// though the cached *routes* are identical by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the BFS and filled an entry.
+    pub misses: u64,
+    /// Entries discarded when a shard hit its capacity bound.
+    pub evictions: u64,
+}
+
+/// Lock shards of the route cache; keys spread by `src ^ dst`.
+const CACHE_SHARDS: usize = 16;
+/// Per-shard entry bound; a full shard is flushed wholesale (the cache
+/// is a pure memo — dropping entries only costs recomputation).
+const CACHE_SHARD_CAP: usize = 1 << 15;
+
+/// One lock shard of the memo: `(src, dst, epoch) → BFS result` (`None`
+/// = the fault set partitions the pair).
+type RouteShard = Mutex<HashMap<(NodeId, NodeId, u32), Option<RouteInfo>>>;
+
+/// Epoch-keyed `(src, dst, epoch) → route` memo. Within one fault epoch
+/// the live link state is constant, so the BFS result is too — a cached
+/// entry is byte-identical to a fresh computation and the memo cannot
+/// perturb determinism. Shared across engine shards via the
+/// `Arc<LinkStateTable>`, hence the internal locking; counters are
+/// atomics so the hot path never takes more than one shard lock.
+struct RouteCache {
+    /// `XSIM_NET_ROUTE_CACHE=off|0|false` disables the memo (every
+    /// query runs the BFS) — the escape hatch differential tests use.
+    enabled: bool,
+    shards: Vec<RouteShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RouteCache {
+    fn new() -> Self {
+        let enabled = !matches!(
+            std::env::var("XSIM_NET_ROUTE_CACHE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        );
+        RouteCache {
+            enabled,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, src: NodeId, dst: NodeId) -> &RouteShard {
+        &self.shards[(src ^ dst) % CACHE_SHARDS]
+    }
+
+    fn get(&self, src: NodeId, dst: NodeId, epoch: u32) -> Option<Option<RouteInfo>> {
+        let hit = self
+            .shard(src, dst)
+            .lock()
+            .expect("route cache lock")
+            .get(&(src, dst, epoch))
+            .copied();
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, src: NodeId, dst: NodeId, epoch: u32, route: Option<RouteInfo>) {
+        let mut shard = self.shard(src, dst).lock().expect("route cache lock");
+        if shard.len() >= CACHE_SHARD_CAP {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        shard.insert((src, dst, epoch), route);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("route cache lock").clear();
+        }
+    }
+
+    fn stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Clones start empty: the memo belongs to one run's shared table, not
+/// to the fault schedule it memoizes.
+impl Clone for RouteCache {
+    fn clone(&self) -> Self {
+        RouteCache {
+            enabled: self.enabled,
+            ..RouteCache::new()
+        }
+    }
+}
+
+impl std::fmt::Debug for RouteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteCache")
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 /// Fault state of every physical link of a topology, queryable at any
 /// virtual time. The table is immutable during a run (it is built from
 /// the fault schedule up front), so both engines see identical state —
 /// determinism is preserved by construction.
+///
+/// Time is partitioned into **fault epochs**: the sorted, deduplicated
+/// activation/repair instants of all windows split the timeline into
+/// half-open intervals over which every link's state is constant. The
+/// epoch index makes `any_active` a binary search instead of a window
+/// scan, and keys the route cache so the BFS runs once per
+/// `(src, dst, epoch)` instead of once per message.
 #[derive(Debug, Clone)]
 pub struct LinkStateTable {
     topo: Topology,
@@ -81,6 +211,15 @@ pub struct LinkStateTable {
     faults: HashMap<(NodeId, NodeId), Vec<Window>>,
     /// Earliest activation over all windows (fast reject before it).
     earliest: SimTime,
+    /// Sorted, deduplicated fault state-transition instants. Epoch `e`
+    /// covers `[epoch_bounds[e-1], epoch_bounds[e])` (epoch 0 is
+    /// everything before the first transition).
+    epoch_bounds: Vec<SimTime>,
+    /// Per-epoch precomputed "any window active" flag
+    /// (`epoch_active.len() == epoch_bounds.len() + 1`).
+    epoch_active: Vec<bool>,
+    /// Epoch-keyed route memo (see [`RouteCache`]).
+    cache: RouteCache,
 }
 
 impl LinkStateTable {
@@ -90,6 +229,9 @@ impl LinkStateTable {
             topo,
             faults: HashMap::new(),
             earliest: SimTime::MAX,
+            epoch_bounds: Vec::new(),
+            epoch_active: vec![false],
+            cache: RouteCache::new(),
         }
     }
 
@@ -124,16 +266,72 @@ impl LinkStateTable {
             });
             self.earliest = self.earliest.min(f.from);
         }
+        self.rebuild_epochs();
     }
 
-    /// Whether any fault window is active at `t`.
+    /// Recompute the epoch index after a schedule mutation. Tables are
+    /// built up front and then queried, so this construction-time
+    /// O(windows log windows) pass keeps every query O(log epochs).
+    fn rebuild_epochs(&mut self) {
+        let mut bounds: Vec<SimTime> = self
+            .faults
+            .values()
+            .flat_map(|ws| ws.iter())
+            .flat_map(|w| [Some(w.from), w.until].into_iter().flatten())
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        self.epoch_active = (0..=bounds.len())
+            .map(|e| {
+                // Link state is constant within an epoch, so one
+                // representative instant decides the whole flag.
+                let t = if e == 0 { SimTime::ZERO } else { bounds[e - 1] };
+                self.faults
+                    .values()
+                    .any(|ws| ws.iter().any(|w| w.active(t)))
+            })
+            .collect();
+        self.epoch_bounds = bounds;
+        self.cache.clear();
+    }
+
+    /// The fault epoch containing `t`: the count of state transitions at
+    /// or before `t`. Every scheduled link/switch activation or repair
+    /// bumps the epoch; within one epoch the live link state — and
+    /// therefore every route — is constant.
+    pub fn epoch_at(&self, t: SimTime) -> u32 {
+        self.epoch_bounds.partition_point(|b| *b <= t) as u32
+    }
+
+    /// Total number of fault epochs (`transitions + 1`).
+    pub fn epoch_count(&self) -> usize {
+        self.epoch_bounds.len() + 1
+    }
+
+    /// The `i`-th epoch boundary: the first instant of epoch `i + 1`.
+    /// Panics if `i >= epoch_count() - 1`.
+    pub fn epoch_bound(&self, i: usize) -> SimTime {
+        self.epoch_bounds[i]
+    }
+
+    /// Hit/miss/eviction counters of the epoch-keyed route cache.
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.cache.stats()
+    }
+
+    /// Whether the route cache is consulted (`XSIM_NET_ROUTE_CACHE=off`
+    /// at table construction disables it).
+    pub fn route_cache_enabled(&self) -> bool {
+        self.cache.enabled
+    }
+
+    /// Whether any fault window is active at `t` — a binary search over
+    /// the precomputed epoch index.
     pub fn any_active(&self, t: SimTime) -> bool {
         if t < self.earliest {
             return false;
         }
-        self.faults
-            .values()
-            .any(|ws| ws.iter().any(|w| w.active(t)))
+        self.epoch_active[self.epoch_at(t) as usize]
     }
 
     /// Bandwidth factor of the link between adjacent nodes `a` and `b`
@@ -162,7 +360,10 @@ impl LinkStateTable {
     ///
     /// With no fault active at `t` — or on a topology without
     /// neighbor-level link addressing — this reduces to the fault-free
-    /// [`Topology::hops`].
+    /// [`Topology::hops`]. Otherwise the BFS result is memoized per
+    /// `(src, dst, epoch)`: link state is constant within an epoch, so
+    /// the cached route is exactly what a fresh BFS would return
+    /// ([`route_uncached`](Self::route_uncached) is the bypassing oracle).
     pub fn route(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<RouteInfo> {
         if src == dst {
             return Some(RouteInfo {
@@ -180,6 +381,42 @@ impl LinkStateTable {
                 min_factor: 1.0,
             });
         }
+        if !self.cache.enabled {
+            return self.route_bfs(src, dst, t);
+        }
+        let epoch = self.epoch_at(t);
+        if let Some(cached) = self.cache.get(src, dst, epoch) {
+            return cached;
+        }
+        let fresh = self.route_bfs(src, dst, t);
+        self.cache.insert(src, dst, epoch, fresh);
+        fresh
+    }
+
+    /// [`route`](Self::route) with the memo bypassed: always recomputes
+    /// the BFS. The differential oracle for cache-correctness tests.
+    pub fn route_uncached(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<RouteInfo> {
+        if src == dst {
+            return Some(RouteInfo {
+                hops: 0,
+                min_factor: 1.0,
+            });
+        }
+        let addressable = matches!(
+            self.topo,
+            Topology::Torus3d { .. } | Topology::Mesh3d { .. }
+        );
+        if !addressable || !self.any_active(t) {
+            return Some(RouteInfo {
+                hops: self.topo.hops(src, dst),
+                min_factor: 1.0,
+            });
+        }
+        self.route_bfs(src, dst, t)
+    }
+
+    /// The BFS body shared by the cached and uncached entry points.
+    fn route_bfs(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<RouteInfo> {
         let n = self.topo.nodes();
         let mut dist = vec![u32::MAX; n];
         let mut parent = vec![usize::MAX; n];
@@ -322,6 +559,92 @@ mod tests {
             until: None,
         });
         assert_eq!(tbl.link_factor(a, b, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn epochs_partition_the_timeline_at_transitions() {
+        let t = torus();
+        let mut tbl = LinkStateTable::new(t);
+        assert_eq!(tbl.epoch_count(), 1, "no faults: one eternal epoch");
+        tbl.add(NetFault {
+            node: 0,
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::from_secs(1),
+            until: Some(SimTime::from_secs(2)),
+        });
+        tbl.add(NetFault {
+            node: 0,
+            dir: Some(2),
+            kind: LinkFaultKind::Degraded(0.5),
+            from: SimTime::from_secs(2),
+            until: Some(SimTime::from_secs(3)),
+        });
+        // Transitions at 1 s, 2 s, 3 s → 4 epochs.
+        assert_eq!(tbl.epoch_count(), 4);
+        assert_eq!(tbl.epoch_at(SimTime::ZERO), 0);
+        assert_eq!(tbl.epoch_at(SimTime::from_millis(999)), 0);
+        assert_eq!(tbl.epoch_at(SimTime::from_secs(1)), 1);
+        assert_eq!(tbl.epoch_at(SimTime::from_secs(2)), 2);
+        assert_eq!(tbl.epoch_at(SimTime::from_millis(2500)), 2);
+        assert_eq!(tbl.epoch_at(SimTime::from_secs(3)), 3);
+        assert_eq!(tbl.epoch_at(SimTime::MAX), 3);
+        assert!(!tbl.any_active(SimTime::ZERO));
+        assert!(tbl.any_active(SimTime::from_secs(1)));
+        assert!(tbl.any_active(SimTime::from_millis(2500)));
+        assert!(!tbl.any_active(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_bfs_and_count_hits() {
+        let t = torus();
+        let mut tbl = LinkStateTable::new(t);
+        tbl.add(NetFault {
+            node: 0,
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::from_secs(1),
+            until: Some(SimTime::from_secs(2)),
+        });
+        let times = [
+            SimTime::ZERO,
+            SimTime::from_millis(1500),
+            SimTime::from_secs(2),
+        ];
+        for &at in &times {
+            for (a, b) in [(0usize, 1usize), (0, 5), (3, 60)] {
+                let fresh = tbl.route_uncached(a, b, at);
+                assert_eq!(tbl.route(a, b, at), fresh, "first (filling) query");
+                assert_eq!(tbl.route(a, b, at), fresh, "second (cached) query");
+            }
+        }
+        if tbl.route_cache_enabled() {
+            let s = tbl.route_cache_stats();
+            assert!(s.hits > 0, "repeat queries hit: {s:?}");
+            assert!(s.misses > 0, "first queries miss: {s:?}");
+            assert_eq!(s.evictions, 0);
+        }
+    }
+
+    #[test]
+    fn adding_a_fault_invalidates_cached_routes() {
+        let t = torus();
+        let (a, b) = (t.node_at([0, 0, 0]), t.node_at([1, 0, 0]));
+        let mut tbl = LinkStateTable::new(t.clone());
+        tbl.add(NetFault {
+            node: t.node_at([0, 1, 0]),
+            dir: Some(0),
+            kind: LinkFaultKind::Down,
+            from: SimTime::ZERO,
+            until: None,
+        });
+        assert_eq!(tbl.hops_at(a, b, SimTime::ZERO), Some(1), "warm the cache");
+        tbl.add(down(a, 0)); // now the queried link itself dies
+        assert_eq!(
+            tbl.hops_at(a, b, SimTime::ZERO),
+            Some(3),
+            "stale entry flushed"
+        );
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod fault;
 pub mod model;
 pub mod topology;
 
-pub use fault::{LinkFaultKind, LinkStateTable, NetFault, RouteInfo};
+pub use fault::{LinkFaultKind, LinkStateTable, NetFault, RouteCacheStats, RouteInfo};
 pub use model::{Link, NetClass, NetModel, P2pRoute, P2pTiming};
-pub use topology::{NodeId, Topology};
+pub use topology::{HopTable, NodeId, Topology};

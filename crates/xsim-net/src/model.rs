@@ -138,6 +138,12 @@ pub struct NetModel {
     /// for fault-aware routing. `None` (the default) keeps the
     /// fault-free fast path.
     pub faults: Option<Arc<LinkStateTable>>,
+    /// Precomputed healthy-topology hop table (see
+    /// [`NetModel::precompute_hops`]): the no-fault system-class path
+    /// becomes a pure table lookup on machines small enough to afford
+    /// the dense table. `None` falls back to the closed-form
+    /// [`Topology::hops`].
+    pub hop_table: Option<Arc<crate::topology::HopTable>>,
 }
 
 /// Fault-aware point-to-point route: the timing plus how far it departs
@@ -169,6 +175,7 @@ impl NetModel {
             recv_overhead: SimTime::from_micros(1),
             serialize_recv: false,
             faults: None,
+            hop_table: None,
         }
     }
 
@@ -178,6 +185,26 @@ impl NetModel {
     pub fn with_faults(mut self, table: LinkStateTable) -> Self {
         self.faults = Some(Arc::new(table));
         self
+    }
+
+    /// Build the dense healthy-topology hop table when the topology
+    /// qualifies (see [`crate::topology::HopTable::build`]). Idempotent;
+    /// the simulation builder calls this once the topology is final, so
+    /// per-message hop queries on small tori/meshes are a table load.
+    pub fn precompute_hops(&mut self) {
+        if self.hop_table.is_none() {
+            self.hop_table = self.topology.hop_table().map(Arc::new);
+        }
+    }
+
+    /// Healthy-topology hop count between two *nodes*: the precomputed
+    /// table when present, the closed form otherwise.
+    #[inline]
+    pub fn node_hops(&self, a: usize, b: usize) -> u32 {
+        match &self.hop_table {
+            Some(t) => t.get(a, b),
+            None => self.topology.hops(a, b),
+        }
     }
 
     /// A small fully-connected machine, convenient for tests and
@@ -227,7 +254,7 @@ impl NetModel {
         let class = self.class_of(src, dst);
         let link = self.link(class);
         let hops = match class {
-            NetClass::System => self.topology.hops(self.node_of(src), self.node_of(dst)),
+            NetClass::System => self.node_hops(self.node_of(src), self.node_of(dst)),
             _ => 1,
         }
         .max(1);
@@ -264,7 +291,7 @@ impl NetModel {
         }
         let (a, b) = (self.node_of(src), self.node_of(dst));
         let route = table.route(a, b, now)?;
-        let base_hops = self.topology.hops(a, b).max(1);
+        let base_hops = self.node_hops(a, b).max(1);
         let hops = route.hops.max(1);
         let link = self.link(NetClass::System);
         let latency = SimTime(link.latency.as_nanos().saturating_mul(hops as u64));
@@ -316,7 +343,10 @@ impl NetModel {
     /// above this bound.
     pub fn cross_shard_lookahead(&self, ranks_per_shard: usize) -> SimTime {
         let rpn = self.ranks_per_node.max(1);
-        let aligned = rpn == 1 || (ranks_per_shard > 0 && ranks_per_shard % rpn == 0);
+        let aligned = match ranks_per_shard {
+            0 => rpn == 1,
+            n => n % rpn == 0,
+        };
         if aligned {
             self.system.latency.max(SimTime::from_nanos(1))
         } else {
@@ -509,6 +539,23 @@ mod tests {
         assert!(m
             .p2p_at(Rank(0), Rank(victim as u32), 64, SimTime::ZERO)
             .is_none());
+    }
+
+    #[test]
+    fn precomputed_hop_table_preserves_p2p() {
+        let mut m = NetModel::paper_machine();
+        m.topology = Topology::Torus3d { dims: [4, 4, 4] };
+        let base: Vec<_> = (0..64u32).map(|b| m.p2p(Rank(0), Rank(b), 4096)).collect();
+        m.precompute_hops();
+        assert!(m.hop_table.is_some(), "small torus gets a table");
+        for b in 0..64u32 {
+            assert_eq!(m.p2p(Rank(0), Rank(b), 4096), base[b as usize]);
+        }
+        // The paper machine is too large for a dense table; the closed
+        // form keeps serving.
+        let mut big = NetModel::paper_machine();
+        big.precompute_hops();
+        assert!(big.hop_table.is_none());
     }
 
     #[test]

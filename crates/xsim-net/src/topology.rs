@@ -184,6 +184,12 @@ impl Topology {
         }
     }
 
+    /// Precompute the dense healthy-topology hop table, if this
+    /// topology qualifies (see [`HopTable::build`]).
+    pub fn hop_table(&self) -> Option<HopTable> {
+        HopTable::build(self)
+    }
+
     /// Network diameter: the maximum minimal-route hop count.
     pub fn diameter(&self) -> u32 {
         match *self {
@@ -256,6 +262,51 @@ impl Topology {
             }
             _ => [None; 6],
         }
+    }
+}
+
+/// Dense precomputed healthy-topology hop table: `hops(a, b)` becomes a
+/// single `u16` load instead of coordinate arithmetic. Built only where
+/// the memory is trivially affordable and the closed form actually does
+/// work (the 3-D torus/mesh coordinate math); a full table for the
+/// paper's 32,768-node torus would need a billion entries, so large
+/// machines keep the O(1) closed form (see DESIGN.md, "message path").
+#[derive(Debug, Clone)]
+pub struct HopTable {
+    n: usize,
+    hops: Vec<u16>,
+}
+
+impl HopTable {
+    /// Largest node count a dense table is built for (`MAX_NODES²`
+    /// `u16` entries = 8 MiB at the bound).
+    pub const MAX_NODES: usize = 2048;
+
+    /// Build the table for `topo`, or `None` when the topology is not a
+    /// torus/mesh (other closed forms are already a compare or a popcount)
+    /// or has more than [`HopTable::MAX_NODES`] nodes.
+    pub fn build(topo: &Topology) -> Option<HopTable> {
+        if !matches!(topo, Topology::Torus3d { .. } | Topology::Mesh3d { .. }) {
+            return None;
+        }
+        let n = topo.nodes();
+        if n == 0 || n > Self::MAX_NODES {
+            return None;
+        }
+        let mut hops = vec![0u16; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                hops[a * n + b] = topo.hops(a, b) as u16;
+            }
+        }
+        Some(HopTable { n, hops })
+    }
+
+    /// Hop count between two nodes (panics on out-of-range ids, like
+    /// the closed form's coordinate math would).
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> u32 {
+        self.hops[a * self.n + b] as u32
     }
 }
 
@@ -400,5 +451,27 @@ mod tests {
         assert_eq!(nbs.iter().flatten().count(), 3);
         let center = t.node_at([1, 1, 1]);
         assert_eq!(t.torus_neighbors(center).iter().flatten().count(), 6);
+    }
+
+    #[test]
+    fn hop_table_matches_closed_form() {
+        for t in [
+            Topology::Torus3d { dims: [4, 4, 4] },
+            Topology::Mesh3d { dims: [3, 4, 5] },
+        ] {
+            let table = t.hop_table().expect("small torus/mesh qualifies");
+            for a in 0..t.nodes() {
+                for b in 0..t.nodes() {
+                    assert_eq!(table.get(a, b), t.hops(a, b), "{t}: {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_table_gates_on_size_and_kind() {
+        assert!(Topology::paper_torus().hop_table().is_none(), "32k nodes");
+        assert!(Topology::FullyConnected { nodes: 8 }.hop_table().is_none());
+        assert!(Topology::Hypercube { dim: 4 }.hop_table().is_none());
     }
 }

@@ -181,6 +181,50 @@ proptest! {
         }
     }
 
+    /// The epoch-keyed route cache is semantically invisible: for random
+    /// windowed (activate + repair) fault schedules, the cached
+    /// [`LinkStateTable::route`] equals the cache-bypassing
+    /// [`LinkStateTable::route_uncached`] oracle at every probe — taken
+    /// on, just before and just after every epoch boundary, where a
+    /// stale entry would leak a neighbouring epoch's link state — and
+    /// the warm (hit) path answers identically to the cold (miss) path.
+    #[test]
+    fn cached_routes_equal_fresh_bfs_across_epochs(
+        topo in arb_torus(),
+        seeds in proptest::collection::vec((0usize..4096, 0usize..6, 0u64..200, 1u64..100, 0u8..2), 1..6),
+        pairs in proptest::collection::vec((0usize..4096, 0usize..4096), 1..5),
+        extra_t in 0u64..400,
+    ) {
+        let n = topo.nodes();
+        let mut tbl = LinkStateTable::new(topo.clone());
+        for (node_s, dir, from, dur, kind) in seeds {
+            tbl.add(NetFault {
+                node: node_s % n,
+                dir: Some(dir),
+                kind: if kind == 0 { LinkFaultKind::Down } else { LinkFaultKind::Degraded(0.5) },
+                from: SimTime(from),
+                until: Some(SimTime(from + dur)),
+            });
+        }
+        // Probe instants straddling every epoch boundary, plus an
+        // arbitrary one.
+        let mut probes = vec![SimTime(extra_t)];
+        for e in 1..tbl.epoch_count() {
+            let b = tbl.epoch_bound(e - 1);
+            probes.push(SimTime(b.0.saturating_sub(1)));
+            probes.push(b);
+            probes.push(SimTime(b.0 + 1));
+        }
+        for &(a_s, b_s) in &pairs {
+            let (a, b) = (a_s % n, b_s % n);
+            for &t in &probes {
+                let want = tbl.route_uncached(a, b, t);
+                prop_assert_eq!(tbl.route(a, b, t), want, "cold at t={:?}", t);
+                prop_assert_eq!(tbl.route(a, b, t), want, "warm at t={:?}", t);
+            }
+        }
+    }
+
     /// A switch fault isolates its node completely: routing to or from
     /// it reports a partition from every other node, at the table and
     /// at the model level (`p2p_at` → `None`), while traffic between

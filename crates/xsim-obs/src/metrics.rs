@@ -215,6 +215,22 @@ pub mod ids {
     pub const ENGINE_BATCHED_EVENTS: usize = 33;
     /// Largest single (src,dst) exchange batch (volatile).
     pub const ENGINE_BATCH_MAX: usize = 34;
+    /// Fault-aware route queries answered by the epoch-keyed cache
+    /// (volatile: parallel shards race to fill entries, so the counts —
+    /// never the routes — vary with scheduling).
+    pub const NET_ROUTE_CACHE_HITS: usize = 35;
+    /// Fault-aware route queries that ran the BFS and filled the cache
+    /// (volatile, see `NET_ROUTE_CACHE_HITS`).
+    pub const NET_ROUTE_CACHE_MISSES: usize = 36;
+    /// Route-cache entries discarded at a shard capacity bound
+    /// (volatile, see `NET_ROUTE_CACHE_HITS`).
+    pub const NET_ROUTE_CACHE_EVICTIONS: usize = 37;
+    /// Cheap reference-count payload clones on the message path
+    /// (collective fan-outs sharing one buffer instead of copying it).
+    pub const MPI_PAYLOAD_CLONES: usize = 38;
+    /// Bytes actually copied host-side on the message path (collective
+    /// packing and typed reduce decode — the copies that remain).
+    pub const MPI_PAYLOAD_COPY_BYTES: usize = 39;
 }
 
 /// The metric schema, indexed by [`ids`].
@@ -256,6 +272,11 @@ pub const SPEC: &[MetricDef] = &[
     MetricDef::gauge("engine.barrier_wait_ns", Unit::Nanos).volatile(),
     MetricDef::gauge("engine.batched_events", Unit::Count).volatile(),
     MetricDef::gauge("engine.batch_max_events", Unit::Count).volatile(),
+    MetricDef::counter("net.route_cache_hits", Unit::Count).volatile(),
+    MetricDef::counter("net.route_cache_misses", Unit::Count).volatile(),
+    MetricDef::counter("net.route_cache_evictions", Unit::Count).volatile(),
+    MetricDef::counter("mpi.payload_clones", Unit::Count),
+    MetricDef::counter("mpi.payload_copy_bytes", Unit::Bytes),
 ];
 
 /// A filled histogram.
@@ -445,7 +466,7 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::ENGINE_BATCH_MAX + 1);
+        assert_eq!(SPEC.len(), ids::MPI_PAYLOAD_COPY_BYTES + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
@@ -455,14 +476,16 @@ mod tests {
         assert_eq!(SPEC[ids::NET_CORRUPT_DROPS].name, "net.corrupt_drops");
         assert_eq!(SPEC[ids::ENGINE_WINDOWS].name, "engine.windows");
         assert_eq!(SPEC[ids::ENGINE_BATCH_MAX].name, "engine.batch_max_events");
-        // Exactly the engine execution-shape metrics are volatile.
+        assert_eq!(SPEC[ids::NET_ROUTE_CACHE_HITS].name, "net.route_cache_hits");
+        assert_eq!(SPEC[ids::MPI_PAYLOAD_CLONES].name, "mpi.payload_clones");
+        assert_eq!(SPEC[ids::MPI_PAYLOAD_COPY_BYTES].unit, Unit::Bytes);
+        // Exactly the execution-shape metrics (engine profile + route
+        // cache occupancy) are volatile; payload accounting is part of
+        // the deterministic snapshot.
         for (id, def) in SPEC.iter().enumerate() {
-            assert_eq!(
-                def.volatile,
-                id >= ids::ENGINE_WINDOWS,
-                "volatility of {}",
-                def.name
-            );
+            let expect_volatile =
+                (ids::ENGINE_WINDOWS..=ids::NET_ROUTE_CACHE_EVICTIONS).contains(&id);
+            assert_eq!(def.volatile, expect_volatile, "volatility of {}", def.name);
         }
         // Names are unique.
         let mut names: Vec<_> = SPEC.iter().map(|d| d.name).collect();

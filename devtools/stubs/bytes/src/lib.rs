@@ -1,44 +1,110 @@
 //! Offline stub of the `bytes` crate surface xsim uses: an immutable,
-//! cheaply-clonable `Bytes`, a growable `BytesMut`, and the `BufMut`
-//! writer methods the codecs call. Backed by `Arc<Vec<u8>>` / `Vec<u8>`
-//! — no zero-copy slicing, which xsim never relies on.
+//! cheaply-clonable `Bytes` with zero-copy `slice`, a growable
+//! `BytesMut`, and the `BufMut` writer methods the codecs call. Backed
+//! by an `Arc<Vec<u8>>` plus a view range — same sharing semantics as
+//! the real crate for everything the simulator relies on.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<Vec<u8>>);
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes(Arc::new(Vec::new()))
+        Bytes::default()
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            buf: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 
     pub fn from_static(b: &'static [u8]) -> Self {
-        Bytes(Arc::new(b.to_vec()))
+        Bytes::from_vec(b.to_vec())
     }
 
     pub fn copy_from_slice(b: &[u8]) -> Self {
-        Bytes(Arc::new(b.to_vec()))
+        Bytes::from_vec(b.to_vec())
+    }
+
+    /// Zero-copy sub-view sharing the backing allocation (the real
+    /// crate's `Bytes::slice`). Panics on an out-of-range or inverted
+    /// range, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.end - self.start;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range for {len}"
+        );
+        Bytes {
+            buf: self.buf.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (**self).cmp(&**other)
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::new(v))
+        Bytes::from_vec(v)
     }
 }
 
@@ -50,13 +116,13 @@ impl From<&'static [u8]> for Bytes {
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Bytes(Arc::new(s.into_bytes()))
+        Bytes::from_vec(s.into_bytes())
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Self {
-        Bytes(Arc::new(s.as_bytes().to_vec()))
+        Bytes::from_vec(s.as_bytes().to_vec())
     }
 }
 
@@ -85,7 +151,7 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes(Arc::new(self.0))
+        Bytes::from_vec(self.0)
     }
 }
 
