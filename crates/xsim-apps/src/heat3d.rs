@@ -312,7 +312,7 @@ impl Grid {
     }
 }
 
-fn mix_token(token: u64, it: u64, rank: u64) -> u64 {
+pub(crate) fn mix_token(token: u64, it: u64, rank: u64) -> u64 {
     let mut z = token ^ it.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rank.rotate_left(32);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^ (z >> 31)
@@ -328,7 +328,7 @@ pub mod sections {
     pub const TOKEN: &str = "token";
 }
 
-fn config_fingerprint(cfg: &HeatConfig) -> Bytes {
+pub(crate) fn config_fingerprint(cfg: &HeatConfig) -> Bytes {
     let mut b = BytesMut::new();
     for d in 0..3 {
         b.put_u64_le(cfg.global[d] as u64);

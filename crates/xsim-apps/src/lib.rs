@@ -13,10 +13,12 @@
 //!   microbenchmark programs for tests, examples and ablations.
 
 pub mod heat3d;
+pub mod heat3d_rep;
 pub mod jacobi2d;
 pub mod kernels;
 pub mod sweep;
 
 pub use heat3d::{ComputeMode, HeatConfig};
+pub use heat3d_rep::RepHeatConfig;
 pub use jacobi2d::{JacobiConfig, JacobiOutcome};
 pub use sweep::SweepConfig;

@@ -14,11 +14,15 @@
 
 use std::sync::Arc;
 use xsim_apps::heat3d::{self, HeatConfig};
-use xsim_ckpt::{CampaignResult, CheckpointManager, Orchestrator};
+use xsim_apps::heat3d_rep::{self, RepHeatConfig};
+use xsim_ckpt::{CampaignResult, CheckpointManager, Orchestrator, ProtectionCampaign};
+use xsim_core::vp::VpProgram;
 use xsim_core::{SimError, SimTime};
-use xsim_fault::{FailureModel, FailureSchedule, FaultSchedule};
-use xsim_fs::FsStore;
-use xsim_mpi::{RunReport, SimBuilder};
+use xsim_fault::{
+    Component, FailureModel, FailureSchedule, FaultSchedule, NodeReliability, SystemReliability,
+};
+use xsim_fs::{FsModel, FsStore};
+use xsim_mpi::{HeartbeatConfig, ProtectionScheme, ReplicaMap, RunReport, SimBuilder};
 use xsim_net::{NetFault, NetModel};
 use xsim_proc::ProcModel;
 
@@ -93,9 +97,12 @@ pub fn table2_config(scale: Scale, ckpt_interval: u64) -> HeatConfig {
 /// fault surface): `XSIM_FAILURES` (`rank:seconds,...`) and
 /// `XSIM_NET_FAULTS` (`rank:R:SECS`, `link:NODE:DIR:SECS[:kind]`,
 /// `switch:NODE:SECS[:kind]`). Rank entries of `XSIM_NET_FAULTS` merge
-/// into the process-failure half. Exits with a diagnostic on a
-/// malformed schedule.
+/// into the process-failure half. `XSIM_PROTECTION` is validated here
+/// too, so a malformed protection spec fails fast in every binary, not
+/// just the ones that act on it. Exits with a diagnostic on a malformed
+/// schedule.
 pub fn env_fault_schedules() -> (FailureSchedule, Vec<NetFault>) {
+    let _ = env_protection();
     let mut failures = match FailureSchedule::from_env() {
         Ok(s) => s.unwrap_or_default(),
         Err(e) => {
@@ -136,6 +143,158 @@ pub fn apply_env_faults(builder: SimBuilder) -> SimBuilder {
     b
 }
 
+/// Read the protection scheme from `XSIM_PROTECTION`, if set —
+/// the resilience counterpart of [`env_fault_schedules`]'s injection
+/// variables. Format: `none`, `cr`, `replication[:DEGREE]`, or
+/// `partial[:DEGREE[:SET]]` with `SET` a `+`-separated list of ranks
+/// and `A-B` ranges (e.g. `partial:2:0-3+8`). Exits with a diagnostic
+/// on a malformed spec.
+pub fn env_protection() -> Option<ProtectionScheme> {
+    match ProtectionScheme::from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("XSIM_PROTECTION: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builder for protection-ablation worlds: the link parameters, node
+/// slowdown and linear collectives of [`paper_builder`], but a
+/// fully-connected topology sized to the *physical* world. Replicated
+/// layouts — partial ones especially — have ragged sizes no torus
+/// hosts, and pinning the topology across schemes keeps the FIT ×
+/// scheme comparison apples-to-apples.
+pub fn protection_builder(physical_ranks: usize, workers: usize, seed: u64) -> SimBuilder {
+    let mut net = NetModel::paper_machine();
+    net.topology = xsim_net::Topology::FullyConnected {
+        nodes: physical_ranks,
+    };
+    SimBuilder::new(physical_ranks)
+        .net(net)
+        .proc(ProcModel::with_slowdown(1000.0))
+        .collectives(xsim_mpi::CollAlgo::Linear)
+        .workers(workers)
+        .seed(seed)
+}
+
+/// One cell of the FIT × protection-scheme ablation.
+#[derive(Debug, Clone)]
+pub struct ProtectionCell {
+    /// Protection scheme the cell ran under.
+    pub scheme: ProtectionScheme,
+    /// Per-node failure rate in FIT (failures per 10⁹ device-hours).
+    pub fit_per_node: f64,
+    /// Physical world size (logical ranks × replication blow-up).
+    pub physical_ranks: usize,
+    /// Whether the campaign finished within its restart budget.
+    pub completed: bool,
+    /// Simulation runs the campaign needed (1 = no restart).
+    pub runs: usize,
+    /// Process failures experienced across all runs.
+    pub failures: u64,
+    /// Transparent leader failovers (replicated schemes; 0 otherwise).
+    pub failovers: u64,
+    /// Completion time on the continuous virtual timeline (Table II's
+    /// E2 generalized to arbitrary schemes).
+    pub finish_time: SimTime,
+    /// E2 × physical ranks — the resource-fair cost that charges
+    /// replication for the extra nodes it occupies.
+    pub node_seconds: f64,
+}
+
+/// Run one FIT × scheme cell: generate the per-node exponential failure
+/// schedule over `horizon` for the scheme's *physical* world, then drive
+/// the matching heat variant through a [`ProtectionCampaign`] on a
+/// charged parallel file system.
+///
+/// Schemes compose as the resilience literature assumes: `none` runs
+/// checkpoint-free, `cr` checkpoints at the configured cadence, and the
+/// replicated schemes checkpoint *and* replicate, so a whole-team death
+/// resumes from the last generation instead of scratch.
+pub fn run_protection_cell(
+    heat: &HeatConfig,
+    scheme: &ProtectionScheme,
+    fit_per_node: f64,
+    horizon: SimTime,
+    max_restarts: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<ProtectionCell, SimError> {
+    let logical = heat.n_ranks();
+    let physical = ReplicaMap::from_scheme(scheme, logical)
+        .map(|m| m.physical_size())
+        .unwrap_or(logical);
+    let schedule = if fit_per_node > 0.0 {
+        let node = NodeReliability::new().with(Component::new("node", fit_per_node), 1);
+        SystemReliability::new(node, physical).generate_schedule(horizon, seed)
+    } else {
+        FailureSchedule::new()
+    };
+
+    let hb = HeartbeatConfig::default();
+    let (program, done_marker): (Arc<dyn VpProgram>, Option<String>) = match scheme {
+        ProtectionScheme::None => {
+            // Unprotected baseline: no mid-run checkpoints (the solver
+            // still persists its final state, a negligible write), so a
+            // failure restarts the whole solve.
+            let mut cfg = heat.clone();
+            cfg.ckpt_interval = cfg.iterations;
+            (heat3d::program(cfg), None)
+        }
+        ProtectionScheme::CheckpointRestart => (heat3d::program(heat.clone()), None),
+        _ => {
+            let cfg = RepHeatConfig {
+                heat: heat.clone(),
+                scheme: scheme.clone(),
+                hb,
+                ckpt: true,
+            };
+            let marker = cfg.done_marker();
+            (heat3d_rep::program(cfg), Some(marker))
+        }
+    };
+
+    let campaign = ProtectionCampaign {
+        schedule,
+        max_restarts,
+        manager: CheckpointManager::new(&heat.prefix),
+        ckpt_ranks: logical as u32,
+        done_marker,
+    };
+    let replicated = scheme.is_replicated();
+    let result = campaign.run_to_completion(FsStore::new(), program, move || {
+        let mut b = protection_builder(physical, workers, seed)
+            .fs_model(FsModel::typical_pfs())
+            .metrics(true);
+        if replicated {
+            // Align the MPI failure detector with the heartbeat
+            // protocol, so pending-op errors and heartbeat detections
+            // agree on when a death becomes visible.
+            b = b.detector(hb.detector());
+        }
+        b
+    })?;
+
+    let failovers = result
+        .runs
+        .iter()
+        .filter_map(|r| r.metrics.as_ref())
+        .map(|m| m.set.value(xsim_obs::ids::REP_FAILOVERS))
+        .sum();
+    Ok(ProtectionCell {
+        scheme: scheme.clone(),
+        fit_per_node,
+        physical_ranks: physical,
+        completed: result.completed,
+        runs: result.runs.len(),
+        failures: result.failures,
+        failovers,
+        finish_time: result.finish_time,
+        node_seconds: result.finish_time.as_secs_f64() * physical as f64,
+    })
+}
+
 /// Parse common CLI flags of the harness binaries.
 pub fn parse_flags() -> Flags {
     let mut flags = Flags::default();
@@ -158,10 +317,26 @@ pub fn parse_flags() -> Flags {
             "--profile" => {
                 flags.profile = Some(args.next().expect("--profile out.json"));
             }
+            "--protection" => {
+                let spec = args.next().expect("--protection SPEC");
+                flags.protection = Some(spec.parse().unwrap_or_else(|e| {
+                    eprintln!("--protection: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--fit" => {
+                let fit: f64 = args.next().and_then(|v| v.parse().ok()).expect("--fit F");
+                if !fit.is_finite() || fit < 0.0 {
+                    eprintln!("--fit: rate must be a non-negative finite FIT value");
+                    std::process::exit(2);
+                }
+                flags.fit = Some(fit);
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; known: --quick --net-faults --bench-engine \
-                     --bench-msgpath --workers N --seed N --profile out.json"
+                     --bench-msgpath --workers N --seed N --profile out.json \
+                     --protection SPEC --fit F"
                 );
                 std::process::exit(2);
             }
@@ -191,6 +366,12 @@ pub struct Flags {
     /// Write a Chrome trace (plus `*.metrics.json` snapshot) of one
     /// representative run to this path.
     pub profile: Option<String>,
+    /// Restrict the protection ablation to one scheme (`--protection`);
+    /// `XSIM_PROTECTION` is the environment-variable equivalent.
+    pub protection: Option<ProtectionScheme>,
+    /// Restrict the protection ablation to one per-node FIT rung
+    /// (`--fit`).
+    pub fit: Option<f64>,
 }
 
 impl Default for Flags {
@@ -206,6 +387,8 @@ impl Default for Flags {
             // are deterministic per seed).
             seed: 17,
             profile: None,
+            protection: None,
+            fit: None,
         }
     }
 }

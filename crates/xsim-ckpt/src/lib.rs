@@ -18,11 +18,15 @@
 //! * [`orchestrator`] — the run → abort → cleanup → restart loop with
 //!   continuous virtual timing and per-run random failure injection,
 //!   which is exactly the procedure behind Table II.
+//! * [`protection`] — the schedule-driven generalization of that loop,
+//!   scheme-agnostic so checkpoint/restart and replication compose in
+//!   the FIT × protection-scheme ablation.
 
 pub mod codec;
 pub mod daly;
 pub mod manager;
 pub mod orchestrator;
+pub mod protection;
 
 pub use codec::{crc32, Checkpoint, CodecError};
 pub use daly::{
@@ -31,3 +35,4 @@ pub use daly::{
 };
 pub use manager::{read_exit_time, write_exit_time, CheckpointManager, EXIT_TIME_FILE};
 pub use orchestrator::{CampaignResult, Orchestrator};
+pub use protection::ProtectionCampaign;

@@ -1,0 +1,160 @@
+//! Protection-scheme orchestration: the restart loop generalized so
+//! checkpoint/restart and replication compose (the FIT × scheme
+//! ablation's outer loop).
+//!
+//! Differences from [`crate::orchestrator::Orchestrator`]:
+//!
+//! * **Schedule-driven injection.** Instead of drawing one random
+//!   failure per run, the campaign takes a whole absolute-time
+//!   [`FailureSchedule`] up front (e.g. from
+//!   `SystemReliability::generate_schedule`). Every scheme under an
+//!   ablation is fed the *same* schedule for a given seed, so their
+//!   completion times are comparable apples-to-apples; each run injects
+//!   the entries still in its future.
+//! * **Replication-aware success.** A replicated run that absorbed
+//!   replica deaths ends with [`ExitKind::FailedOnly`] — the dead
+//!   replicas are real process failures — even though the *application*
+//!   finished. The campaign therefore accepts a run as complete when the
+//!   application's completion marker (see
+//!   `heat3d_rep`'s `done_marker`) exists in the store, not only on a
+//!   clean [`ExitKind::Completed`].
+
+use crate::manager::{read_exit_time, write_exit_time, CheckpointManager};
+use crate::orchestrator::CampaignResult;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xsim_core::vp::VpProgram;
+use xsim_core::{ExitKind, SimError, SimTime};
+use xsim_fault::FailureSchedule;
+use xsim_fs::FsStore;
+use xsim_mpi::SimBuilder;
+
+/// Schedule-driven, scheme-agnostic restart campaign.
+pub struct ProtectionCampaign {
+    /// Absolute-time failure schedule over *physical* ranks, shared by
+    /// every scheme of an ablation cell.
+    pub schedule: FailureSchedule,
+    /// Maximum restarts before giving up.
+    pub max_restarts: usize,
+    /// Checkpoint manager for between-run cleanup (harmless when the
+    /// scheme writes no checkpoints).
+    pub manager: CheckpointManager,
+    /// Number of checkpointing ranks (logical ranks for replicated
+    /// schemes) — the completeness unit for cleanup.
+    pub ckpt_ranks: u32,
+    /// Store name of the application's completion marker, if the
+    /// application writes one (replicated runs); `None` = only
+    /// `ExitKind::Completed` counts as success.
+    pub done_marker: Option<String>,
+}
+
+/// The earliest post-`start` failure of each rank in `schedule`.
+fn earliest_per_rank(schedule: &FailureSchedule, start: SimTime) -> BTreeMap<usize, SimTime> {
+    let mut next = BTreeMap::new();
+    for (rank, at) in schedule.iter().filter(|(_, at)| *at > start) {
+        next.entry(rank)
+            .and_modify(|t: &mut SimTime| *t = (*t).min(at))
+            .or_insert(at);
+    }
+    next
+}
+
+/// Whether a finished run means the application completed.
+fn run_succeeded(exit: ExitKind, marker_present: bool) -> bool {
+    match exit {
+        ExitKind::Completed => true,
+        // Survivor replicas finished while dead teammates count as
+        // process failures.
+        ExitKind::FailedOnly => marker_present,
+        ExitKind::Aborted => false,
+    }
+}
+
+impl ProtectionCampaign {
+    /// Run the application to completion across failure/restart cycles,
+    /// injecting the schedule's future entries into every run.
+    ///
+    /// `make_builder` produces a fresh, fully configured [`SimBuilder`]
+    /// per run; the campaign overrides the store, start time and failure
+    /// injection.
+    pub fn run_to_completion(
+        &self,
+        store: Arc<FsStore>,
+        program: Arc<dyn VpProgram>,
+        make_builder: impl Fn() -> SimBuilder,
+    ) -> Result<CampaignResult, SimError> {
+        let mut runs = Vec::new();
+        let mut failures = 0u64;
+        for _ in 0..=self.max_restarts {
+            // Continuous virtual timeline across restarts (paper §IV-E).
+            let start = read_exit_time(&store).unwrap_or(SimTime::ZERO);
+            let mut builder = make_builder().fs_store(store.clone()).start_time(start);
+            // A rank dies once per run, so only its *earliest* future
+            // entry applies now; the later ones hit the runs after the
+            // node's repair/replacement. (The kernel keeps one pending
+            // failure time per rank — feeding it a node's whole future
+            // would leave only the last entry standing.)
+            for (rank, at) in earliest_per_rank(&self.schedule, start) {
+                builder = builder.inject_failure(rank, at);
+            }
+            let report = builder.run(program.clone())?;
+            failures += report.sim.failures.len() as u64;
+            let exit_kind = report.sim.exit;
+            let exit_time = report.exit_time();
+            runs.push(report);
+
+            let marker_present = self
+                .done_marker
+                .as_ref()
+                .is_some_and(|name| store.exists(name));
+            if run_succeeded(exit_kind, marker_present) {
+                return Ok(CampaignResult {
+                    runs,
+                    completed: true,
+                    finish_time: exit_time,
+                    failures,
+                });
+            }
+            write_exit_time(&store, exit_time);
+            self.manager.cleanup_incomplete(&store, self.ckpt_ranks);
+        }
+        let finish_time = runs.last().map(|r| r.exit_time()).unwrap_or(SimTime::ZERO);
+        Ok(CampaignResult {
+            runs,
+            completed: false,
+            finish_time,
+            failures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_per_rank_takes_first_future_entry() {
+        let s = FailureSchedule::new()
+            .with(3, SimTime::from_secs(10))
+            .with(3, SimTime::from_secs(500))
+            .with(3, SimTime::from_secs(900))
+            .with(7, SimTime::from_secs(40));
+        let next = earliest_per_rank(&s, SimTime::ZERO);
+        assert_eq!(next[&3], SimTime::from_secs(10));
+        assert_eq!(next[&7], SimTime::from_secs(40));
+        // Past entries (≤ the run's start) drop out.
+        let next = earliest_per_rank(&s, SimTime::from_secs(40));
+        assert_eq!(next[&3], SimTime::from_secs(500));
+        assert!(!next.contains_key(&7));
+    }
+
+    #[test]
+    fn success_requires_marker_only_for_failed_only_exits() {
+        assert!(run_succeeded(ExitKind::Completed, false));
+        assert!(run_succeeded(ExitKind::Completed, true));
+        assert!(run_succeeded(ExitKind::FailedOnly, true));
+        assert!(!run_succeeded(ExitKind::FailedOnly, false));
+        assert!(!run_succeeded(ExitKind::Aborted, true));
+        assert!(!run_succeeded(ExitKind::Aborted, false));
+    }
+}

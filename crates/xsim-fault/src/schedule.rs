@@ -84,6 +84,16 @@ impl FailureSchedule {
         }
     }
 
+    /// Re-address every entry through a rank map (team-aware schedules:
+    /// a schedule authored against *logical* ranks is remapped onto the
+    /// physical ranks of a replicated world — e.g. onto each logical
+    /// rank's primary, or a chosen replica).
+    pub fn map_ranks(&self, f: impl Fn(usize) -> usize) -> FailureSchedule {
+        FailureSchedule {
+            entries: self.entries.iter().map(|(r, t)| (f(*r), *t)).collect(),
+        }
+    }
+
     /// Read a schedule from the `XSIM_FAILURES` environment variable, if
     /// set (xSim's environment-variable injection path, §IV-B).
     pub fn from_env() -> Result<Option<Self>, ParseError> {
@@ -189,5 +199,24 @@ mod tests {
         let s = FailureSchedule::new().with(1, SimTime::from_secs(5));
         let o = s.offset_by(SimTime::from_secs(100));
         assert_eq!(o.entries()[0], (1, SimTime::from_secs(105)));
+    }
+
+    #[test]
+    fn map_ranks_readdresses_entries() {
+        let s = FailureSchedule::new()
+            .with(0, SimTime::from_secs(5))
+            .with(3, SimTime::from_secs(7));
+        // Logical → replica-1 physical under a full degree-2 layout of 4
+        // logical ranks (shadow of L at 4 + L).
+        let m = s.map_ranks(|logical| 4 + logical);
+        assert_eq!(
+            m.entries(),
+            &[(4, SimTime::from_secs(5)), (7, SimTime::from_secs(7))]
+        );
+        // Times are untouched.
+        assert_eq!(
+            m.offset_by(SimTime::ZERO).entries()[1].1,
+            SimTime::from_secs(7)
+        );
     }
 }

@@ -35,6 +35,7 @@ pub mod mpi_ctx;
 pub mod msg;
 pub mod p2p;
 pub mod redundancy;
+pub mod replication;
 pub mod request;
 pub mod state;
 pub mod trace;
@@ -46,6 +47,9 @@ pub use comm::{Comm, CommId};
 pub use error::{ErrHandler, MpiError};
 pub use mpi_ctx::{mpi_program, MpiCtx};
 pub use redundancy::{Redundant, Verdict};
+pub use replication::{
+    HeartbeatConfig, ProtectionParseError, ProtectionScheme, RepReq, ReplicaMap, Replicated,
+};
 pub use request::{RecvOut, ReqId};
 pub use state::{CollAlgo, Detector, LossyTransport, MpiStats, MpiWorld, TxOutcome};
 pub use trace::{PhaseKind, Trace, TraceEvent};

@@ -93,10 +93,39 @@ impl Redundant {
     /// team. Every replica passes its local value; the returned bytes
     /// are the majority value (or the caller's own on full agreement).
     ///
+    /// An [`Verdict::Uncorrectable`] divergence (no majority — the only
+    /// possible divergence outcome for `r = 2`) **escalates into the
+    /// process-failure path**: the team cannot tell which replica is
+    /// corrupt, so proceeding would propagate silent data corruption.
+    /// Every team member fail-stops, which the simulator then handles
+    /// exactly like a crash (detection, notification, abort or ULFM
+    /// recovery by the rest of the job). Use [`Redundant::verify_detect`]
+    /// for RedMPI's detection-only mode (correction disabled, replicas
+    /// kept isolated).
+    ///
     /// This is the verification point a RedMPI-protected application
     /// hits on every message; here the application chooses where to
     /// place it (e.g. once per iteration on its state checksum).
-    pub async fn verify(&self, _mpi: &MpiCtx, data: Bytes) -> Result<(Bytes, Verdict), MpiError> {
+    pub async fn verify(&self, mpi: &MpiCtx, data: Bytes) -> Result<(Bytes, Verdict), MpiError> {
+        let (winner, verdict) = self.verify_detect(mpi, data).await?;
+        if verdict == Verdict::Uncorrectable {
+            // All replicas of this logical rank observe the same gathered
+            // values, so all reach this branch: the whole team fail-stops
+            // deterministically and the failure machinery takes over.
+            mpi.fail_now().await;
+        }
+        Ok((winner, verdict))
+    }
+
+    /// Detection-only verification (RedMPI with "online correction
+    /// disabled"): identical voting, but an uncorrectable divergence is
+    /// reported to the caller instead of escalating to a process
+    /// failure.
+    pub async fn verify_detect(
+        &self,
+        _mpi: &MpiCtx,
+        data: Bytes,
+    ) -> Result<(Bytes, Verdict), MpiError> {
         // Gather all replicas' values on every team member (team sizes
         // are tiny: r).
         let all = collective::allgather(self.team.id, data.clone()).await;
@@ -126,17 +155,34 @@ impl Redundant {
         Ok((winner.clone(), verdict))
     }
 
-    /// Verify a `u64` state checksum (convenience over [`Redundant::verify`]).
+    /// Verify a `u64` state checksum (convenience over
+    /// [`Redundant::verify`] — escalates uncorrectable divergence).
     pub async fn verify_u64(&self, mpi: &MpiCtx, value: u64) -> Result<(u64, Verdict), MpiError> {
         let (bytes, verdict) = self
             .verify(mpi, Bytes::copy_from_slice(&value.to_le_bytes()))
             .await?;
-        let corrected = u64::from_le_bytes(
-            bytes[..8]
-                .try_into()
-                .map_err(|_| MpiError::Invalid("corrupt verification payload"))?,
-        );
-        Ok((corrected, verdict))
+        Self::decode_u64(&bytes).map(|v| (v, verdict))
+    }
+
+    /// Detection-only `u64` verification (convenience over
+    /// [`Redundant::verify_detect`]).
+    pub async fn verify_u64_detect(
+        &self,
+        mpi: &MpiCtx,
+        value: u64,
+    ) -> Result<(u64, Verdict), MpiError> {
+        let (bytes, verdict) = self
+            .verify_detect(mpi, Bytes::copy_from_slice(&value.to_le_bytes()))
+            .await?;
+        Self::decode_u64(&bytes).map(|v| (v, verdict))
+    }
+
+    fn decode_u64(bytes: &Bytes) -> Result<u64, MpiError> {
+        bytes
+            .get(..8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(MpiError::Invalid("corrupt verification payload"))
     }
 }
 

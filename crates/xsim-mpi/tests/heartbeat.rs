@@ -1,0 +1,87 @@
+//! Property tests for the heartbeat failure detector: the virtual-time
+//! protocol must never accuse a live replica (no false positives under
+//! any jitter within the declared bound) and must always detect a real
+//! death within its declared detection bound.
+
+use proptest::prelude::*;
+use xsim_core::SimTime;
+use xsim_mpi::HeartbeatConfig;
+
+/// Arbitrary-but-sane protocol parameters: periods from 1 ms to 10 s,
+/// timeouts and jitter bounds scaled off the period, any seed.
+fn arb_config() -> impl Strategy<Value = HeartbeatConfig> {
+    (
+        1_000_000u64..10_000_000_000, // period: 1 ms .. 10 s
+        1u64..8,                      // timeout = period × this
+        0u64..=100,                   // jitter bound: % of period
+        0u64..1_000_000,              // one-way latency ns
+        any::<u64>(),                 // seed
+    )
+        .prop_map(|(period, tmul, jpct, latency, seed)| HeartbeatConfig {
+            period: SimTime(period),
+            timeout: SimTime(period * tmul),
+            jitter_bound: SimTime(period * jpct / 100),
+            latency: SimTime(latency),
+            seed,
+        })
+}
+
+proptest! {
+    /// No false positives: for any observer/target pair and any beat
+    /// number, the k-th heartbeat's jittered arrival never lands after
+    /// the deadline at which the observer would declare the target dead
+    /// — a live replica is never accused, no matter how the per-pair
+    /// deterministic jitter falls within its bound.
+    #[test]
+    fn live_replicas_are_never_accused(
+        cfg in arb_config(),
+        observer in 0usize..4096,
+        target in 0usize..4096,
+        k in 0u64..100_000,
+    ) {
+        let jitter = cfg.jitter(observer, target, k);
+        prop_assert!(jitter <= cfg.jitter_bound, "jitter exceeds its declared bound");
+        prop_assert!(
+            cfg.arrival(observer, target, k) <= cfg.deadline(k),
+            "live heartbeat {k} would miss its deadline"
+        );
+    }
+
+    /// Real deaths are always detected, and within the declared window:
+    /// detection happens after the death (plus the timeout — a detector
+    /// cannot fire before its grace period ends) and no later than
+    /// `detection_bound` past it.
+    #[test]
+    fn real_deaths_detected_within_bound(
+        cfg in arb_config(),
+        observer in 0usize..4096,
+        target in 0usize..4096,
+        tof_ns in 0u64..10_000_000_000_000,
+    ) {
+        let tof = SimTime(tof_ns);
+        let detect = cfg.detection_time(observer, target, tof);
+        prop_assert!(detect >= tof, "detection precedes the death");
+        prop_assert!(
+            detect >= tof + cfg.timeout,
+            "detection fired inside the grace period"
+        );
+        prop_assert!(
+            detect <= tof + cfg.detection_bound(),
+            "detection exceeded the declared bound"
+        );
+    }
+
+    /// Determinism: the protocol's jitter is a pure function of
+    /// (seed, observer, target, beat) — same inputs, same draw — and
+    /// distinct observers of the same target draw independent jitter
+    /// streams (they do not march in lockstep).
+    #[test]
+    fn jitter_is_deterministic_per_edge(
+        cfg in arb_config(),
+        observer in 0usize..4096,
+        target in 0usize..4096,
+        k in 0u64..100_000,
+    ) {
+        prop_assert_eq!(cfg.jitter(observer, target, k), cfg.jitter(observer, target, k));
+    }
+}

@@ -231,6 +231,23 @@ pub mod ids {
     /// Bytes actually copied host-side on the message path (collective
     /// packing and typed reduce decode — the copies that remain).
     pub const MPI_PAYLOAD_COPY_BYTES: usize = 39;
+    /// Heartbeat messages modeled by the replication layer's failure
+    /// detector (team-internal, accounted at finalize from virtual time).
+    pub const REP_HEARTBEATS: usize = 40;
+    /// Replica deaths detected by the heartbeat detector (one per
+    /// observer × dead replica pair).
+    pub const REP_DETECTIONS: usize = 41;
+    /// Leader failovers: a rank routed a logical channel around a dead
+    /// replica that had been its designated copy source.
+    pub const REP_FAILOVERS: usize = 42;
+    /// Failover latency distribution (virtual ns between a replica's
+    /// time of failure and the moment a peer routed around it).
+    pub const REP_FAILOVER_NS: usize = 43;
+    /// Logical messages sent through the replication layer.
+    pub const REP_MSGS: usize = 44;
+    /// Physical copies injected for those logical messages (the
+    /// replication protocol's message amplification).
+    pub const REP_COPIES: usize = 45;
 }
 
 /// The metric schema, indexed by [`ids`].
@@ -277,6 +294,12 @@ pub const SPEC: &[MetricDef] = &[
     MetricDef::counter("net.route_cache_evictions", Unit::Count).volatile(),
     MetricDef::counter("mpi.payload_clones", Unit::Count),
     MetricDef::counter("mpi.payload_copy_bytes", Unit::Bytes),
+    MetricDef::counter("rep.heartbeats", Unit::Count),
+    MetricDef::counter("rep.detections", Unit::Count),
+    MetricDef::counter("rep.failovers", Unit::Count),
+    MetricDef::histogram("rep.failover_ns", Unit::Nanos, LATENCY_BUCKETS),
+    MetricDef::counter("rep.logical_msgs", Unit::Count),
+    MetricDef::counter("rep.copies", Unit::Count),
 ];
 
 /// A filled histogram.
@@ -466,7 +489,7 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::MPI_PAYLOAD_COPY_BYTES + 1);
+        assert_eq!(SPEC.len(), ids::REP_COPIES + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
@@ -479,6 +502,9 @@ mod tests {
         assert_eq!(SPEC[ids::NET_ROUTE_CACHE_HITS].name, "net.route_cache_hits");
         assert_eq!(SPEC[ids::MPI_PAYLOAD_CLONES].name, "mpi.payload_clones");
         assert_eq!(SPEC[ids::MPI_PAYLOAD_COPY_BYTES].unit, Unit::Bytes);
+        assert_eq!(SPEC[ids::REP_HEARTBEATS].name, "rep.heartbeats");
+        assert_eq!(SPEC[ids::REP_FAILOVER_NS].kind, MetricKind::Histogram);
+        assert_eq!(SPEC[ids::REP_COPIES].name, "rep.copies");
         // Exactly the execution-shape metrics (engine profile + route
         // cache occupancy) are volatile; payload accounting is part of
         // the deterministic snapshot.

@@ -63,13 +63,15 @@ pub use xsim_proc as proc;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use xsim_ckpt::{CampaignResult, Checkpoint, CheckpointManager, Orchestrator};
+    pub use xsim_ckpt::{
+        CampaignResult, Checkpoint, CheckpointManager, Orchestrator, ProtectionCampaign,
+    };
     pub use xsim_core::{EngineKind, EngineProfile, ExitKind, Rank, SimError, SimReport, SimTime};
     pub use xsim_fault::{FailureModel, FailureSchedule, FaultSchedule, NetReliability};
     pub use xsim_fs::{FsModel, FsStore};
     pub use xsim_mpi::{
-        Comm, Detector, ErrHandler, LossyTransport, MpiCtx, MpiError, ReduceOp, RunReport,
-        SimBuilder,
+        Comm, Detector, ErrHandler, HeartbeatConfig, LossyTransport, MpiCtx, MpiError,
+        ProtectionScheme, ReduceOp, ReplicaMap, Replicated, RunReport, SimBuilder,
     };
     pub use xsim_net::{
         Link, LinkFaultKind, LinkStateTable, NetClass, NetFault, NetModel, Topology,

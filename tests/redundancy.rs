@@ -55,6 +55,8 @@ fn triple_redundancy_corrects_injected_soft_error() {
 
 #[test]
 fn double_redundancy_detects_but_cannot_correct() {
+    // Detection-only mode ("disabling the online correction and keeping
+    // replicas isolated"): the divergence is reported, not escalated.
     let plan = SoftErrorPlan::new().with_flip(3, SimTime::from_millis(5), 42);
     let report = SimBuilder::new(8)
         .net(NetModel::small(8))
@@ -62,7 +64,7 @@ fn double_redundancy_detects_but_cannot_correct() {
         .run_app(|mpi| async move {
             let red = Redundant::split(&mpi, 2).await?;
             let state = replica_step(&mpi).await;
-            let (_, verdict) = red.verify_u64(&mpi, state).await?;
+            let (_, verdict) = red.verify_u64_detect(&mpi, state).await?;
             if red.logical_rank == 1 {
                 assert_eq!(verdict, Verdict::Uncorrectable, "r=2 only detects");
             } else {
@@ -73,6 +75,35 @@ fn double_redundancy_detects_but_cannot_correct() {
         })
         .unwrap();
     assert_eq!(report.sim.exit, ExitKind::Completed);
+}
+
+#[test]
+fn uncorrectable_divergence_escalates_to_process_failure() {
+    // Correcting mode with r = 2: the team cannot vote out the corrupt
+    // replica, so `verify` must not let either replica proceed with
+    // possibly-corrupt state — the whole team fail-stops into the
+    // process-failure path instead of silently continuing.
+    let plan = SoftErrorPlan::new().with_flip(3, SimTime::from_millis(5), 42);
+    let report = SimBuilder::new(8)
+        .net(NetModel::small(8))
+        .setup_hook(plan.install_hook())
+        .run_app(|mpi| async move {
+            let red = Redundant::split(&mpi, 2).await?;
+            let state = replica_step(&mpi).await;
+            let (corrected, verdict) = red.verify_u64(&mpi, state).await?;
+            // Only teams that agreed make it past the verification point.
+            assert_eq!(verdict, Verdict::Consistent);
+            assert_eq!(corrected, 0xDEAD_BEEF_0123_4567);
+            assert_ne!(red.logical_rank, 1, "diverged team must not proceed");
+            mpi.finalize();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.sim.exit, ExitKind::FailedOnly);
+    // Both replicas of logical rank 1 (world ranks 2 and 3) fail-stopped.
+    let mut dead: Vec<usize> = report.sim.failures.iter().map(|f| f.rank.idx()).collect();
+    dead.sort_unstable();
+    assert_eq!(dead, vec![2, 3]);
 }
 
 #[test]
