@@ -1,0 +1,46 @@
+//! Event-queue micro-benchmarks: the calendar queue vs. the retired
+//! binary-heap oracle under steady-state hold-model churn (pop the
+//! minimum, push a successor a pseudorandom distance ahead) at small,
+//! medium and large pending sets. The calendar's O(1) amortized pops
+//! are the foundation of the data-oriented event core (DESIGN.md §2.1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsim_bench::queue_churn_ns_per_op;
+use xsim_core::EventQueue;
+
+fn bench_queue_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue/churn");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for pending in [1_000usize, 100_000, 1_000_000] {
+        // One batch of hold-model operations per iteration; prefill
+        // happens inside the timed closure but is amortized over the
+        // much larger op count the same way for both queues.
+        let ops = 10_000usize;
+        g.throughput(Throughput::Elements(ops as u64));
+        g.bench_with_input(
+            BenchmarkId::new("heap", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    let mut q = EventQueue::heap();
+                    queue_churn_ns_per_op(&mut q, pending, ops)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("calendar", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    let mut q = EventQueue::calendar();
+                    queue_churn_ns_per_op(&mut q, pending, ops)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue_churn);
+criterion_main!(benches);

@@ -41,13 +41,22 @@ fn torus_for(n: usize) -> Topology {
 /// events/s and speedup relative to the 1-worker parallel engine. Every
 /// number in the JSON is a live measurement from this host.
 fn bench_engine() {
+    let cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
     let mut json = String::new();
-    json.push_str("{\"schema\":\"xsim-bench-engine-v1\"");
+    json.push_str("{\"schema\":\"xsim-bench-engine-v2\"");
     let _ = write!(
         json,
-        ",\"workload\":\"compute_allreduce(rounds=4,elems=64,compute=1ms)\",\"host_cpus\":{}",
-        std::thread::available_parallelism().map_or(0, |p| p.get())
+        ",\"workload\":\"compute_allreduce(rounds=4,elems=64,compute=1ms)\",\"host_cpus\":{cpus}",
     );
+    if cpus <= 1 {
+        // Make single-core results impossible to misread as a scaling
+        // regression: every worker>1 row only adds synchronization cost
+        // when there is one CPU to run on.
+        let warning = "host_cpus == 1: worker speedups are meaningless on this host \
+                       (no parallelism exists); regenerate on a multi-core machine";
+        eprintln!("WARNING: {warning}");
+        let _ = write!(json, ",\"warning\":\"{warning}\"");
+    }
     json.push_str(",\"results\":[");
     let mut first = true;
     println!(
@@ -92,6 +101,61 @@ fn bench_engine() {
                 speedup
             );
         }
+    }
+    json.push(']');
+
+    // The 1M-VP oversubscription row (engine-level ring-of-wakes
+    // workload, see the `million_vp` bin): raw event-core throughput
+    // and host cost per event at the paper's headline VP scale.
+    {
+        let (vps, rounds) = (1usize << 20, 2u32);
+        let (report, wall) = xsim_bench::run_million_vp(vps, 1, rounds);
+        let events = report.events_processed;
+        let evps = events as f64 / wall.as_secs_f64();
+        let us_per_event = wall.as_secs_f64() * 1e6 / events as f64;
+        println!(
+            "{:>10} {:>8} {:>10.2?} {:>12} {:>12.0} {:>11.3}µs/ev",
+            vps, 1, wall, events, evps, us_per_event
+        );
+        let _ = write!(
+            json,
+            ",\"million_vp\":{{\"vps\":{vps},\"workers\":1,\"rounds\":{rounds},\
+             \"events\":{events},\"wall_us\":{},\"events_per_sec\":{evps:.0},\
+             \"host_us_per_event\":{us_per_event:.3}}}",
+            wall.as_micros(),
+        );
+    }
+
+    // Event-queue microbench: steady-state hold-model churn, calendar
+    // vs. the retired binary-heap oracle, across pending-set sizes. The
+    // calendar's O(1) pops are what the worker sweep above rides on.
+    json.push_str(",\"queue_bench\":[");
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>8}",
+        "pending", "heap ns/op", "calendar ns/op", "speedup"
+    );
+    for (i, pending) in [1_000usize, 100_000, 1_000_000].into_iter().enumerate() {
+        let ops = 200_000usize;
+        let mut heap = xsim_core::EventQueue::heap();
+        let heap_ns = xsim_bench::queue_churn_ns_per_op(&mut heap, pending, ops);
+        let mut cal = xsim_core::EventQueue::calendar();
+        let cal_ns = xsim_bench::queue_churn_ns_per_op(&mut cal, pending, ops);
+        println!(
+            "{:>10} {:>14.1} {:>14.1} {:>7.2}x",
+            pending,
+            heap_ns,
+            cal_ns,
+            heap_ns / cal_ns
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"pending\":{pending},\"ops\":{ops},\"heap_ns_per_op\":{heap_ns:.1},\
+             \"calendar_ns_per_op\":{cal_ns:.1},\"speedup\":{:.3}}}",
+            heap_ns / cal_ns
+        );
     }
     json.push_str("]}");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");

@@ -441,3 +441,108 @@ pub fn peak_rss_kib() -> Option<u64> {
 pub fn heat_program(cfg: &HeatConfig) -> Arc<dyn xsim_core::vp::VpProgram> {
     heat3d::program(cfg.clone())
 }
+
+/// The engine-level oversubscription workload (`million_vp` bin and the
+/// 1M-VP row of `BENCH_engine.json`): each VP alternates timer sleeps
+/// with a lookahead-respecting wake of its ring successor, exercising
+/// the event core — calendar queue, inline `Call` storage, SoA VP table,
+/// cross-shard exchange — without any MPI-layer machinery on top.
+pub fn million_vp_program(
+    n_ranks: usize,
+    rounds: u32,
+) -> Arc<dyn xsim_core::vp::VpProgram> {
+    use xsim_core::vp::VpExit;
+    use xsim_core::{ctx, Rank};
+    Arc::new(move |rank: Rank| {
+        let n = n_ranks;
+        Box::pin(async move {
+            for _ in 0..rounds {
+                ctx::sleep(SimTime::from_micros(10)).await;
+                let peer = Rank::new((rank.idx() + 1) % n);
+                ctx::with_kernel(|k, me| {
+                    let t = k.vp(me).clock() + SimTime::from_micros(2);
+                    k.schedule_at(t, peer, xsim_core::event::Action::WakeMessage);
+                });
+            }
+            VpExit::Finished
+        }) as xsim_core::vp::VpFuture
+    })
+}
+
+/// One timed `million_vp` leg on the core engine. Returns the report
+/// and the end-to-end wall time (spawn scheduling and report assembly
+/// included — this is a throughput number, not a profile).
+pub fn run_million_vp(
+    vps: usize,
+    workers: usize,
+    rounds: u32,
+) -> (xsim_core::SimReport, std::time::Duration) {
+    let cfg = xsim_core::CoreConfig {
+        n_ranks: vps,
+        workers,
+        engine: if workers > 1 {
+            xsim_core::EngineKind::Parallel
+        } else {
+            xsim_core::EngineKind::Auto
+        },
+        lookahead: SimTime::from_micros(1),
+        ..Default::default()
+    };
+    let setup = |_: &mut xsim_core::Kernel| {};
+    let t = std::time::Instant::now();
+    let report = xsim_core::engine::run(cfg, million_vp_program(vps, rounds), &setup)
+        .expect("million_vp run");
+    (report, t.elapsed())
+}
+
+/// Steady-state churn cost of an event queue in nanoseconds per
+/// operation: prefill `pending` events, then hold-model churn (pop the
+/// minimum, push a successor a pseudorandom distance into the future)
+/// for `ops` iterations. Keys are unique, as the engine guarantees.
+pub fn queue_churn_ns_per_op(
+    queue: &mut xsim_core::EventQueue,
+    pending: usize,
+    ops: usize,
+) -> f64 {
+    use xsim_core::event::{Action, EventKey, EventRec};
+    use xsim_core::Rank;
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+    fn push_at(
+        q: &mut xsim_core::EventQueue,
+        rng: &mut u64,
+        seq: &mut u64,
+        time: u64,
+    ) {
+        let r = xorshift(rng);
+        *seq += 1;
+        q.push(EventRec {
+            key: EventKey {
+                time: SimTime(time),
+                dst: Rank((r >> 8) as u32 & 0x3f),
+                src: Rank((r >> 16) as u32 & 0x3f),
+                seq: *seq,
+            },
+            action: Action::Spawn,
+        });
+    }
+    let mut rng = 0x9e3779b97f4a7c15u64;
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        let t = xorshift(&mut rng) % 1_000_000;
+        push_at(queue, &mut rng, &mut seq, t);
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ops {
+        let ev = queue.pop().expect("hold-model queue never empties");
+        let delta = 1 + xorshift(&mut rng) % 10_000;
+        push_at(queue, &mut rng, &mut seq, ev.key.time.as_nanos() + delta);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / ops.max(1) as f64;
+    while queue.pop().is_some() {}
+    ns
+}

@@ -18,7 +18,7 @@ use xsim_obs::{ids, ObsSpan};
 
 /// Virtual clock of the current VP if metrics are enabled, else `None`.
 fn obs_clock() -> Option<SimTime> {
-    ctx::with_kernel(|k, rank| obs::enabled(k).then(|| k.vp(rank).clock))
+    ctx::with_kernel(|k, rank| obs::enabled(k).then(|| k.vp(rank).clock()))
 }
 
 /// Name of the file carrying the virtual exit time across restarts
@@ -61,7 +61,7 @@ impl CheckpointManager {
         fs::write(&name, data).await?;
         if let Some(t0) = t0 {
             ctx::with_kernel(|k, rank| {
-                let t1 = k.vp(rank).clock;
+                let t1 = k.vp(rank).clock();
                 obs::record(k, ids::CKPT_WRITES, 1);
                 obs::record(k, ids::CKPT_BYTES_WRITTEN, nbytes);
                 obs::record(k, ids::CKPT_COMMIT_NS, (t1 - t0).as_nanos());

@@ -78,7 +78,7 @@ pub fn current_rank() -> Rank {
 /// simulated `gettimeofday()` of the paper (§IV-A) — reading the clock is
 /// free.
 pub fn now() -> SimTime {
-    with_kernel(|k, r| k.vp(r).clock)
+    with_kernel(|k, r| k.vp(r).clock())
 }
 
 /// The static lookahead floor of the current run: the minimum virtual
@@ -119,17 +119,17 @@ impl Future for BlockFuture {
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<SimTime> {
         with_kernel(|k, rank| {
-            let vp = k.vp_mut(rank);
+            let mut vp = k.vp_mut(rank);
             if !self.armed {
                 self.armed = true;
                 vp.begin_wait(self.class, self.desc);
                 Poll::Pending
             } else if vp.take_woken() {
-                Poll::Ready(vp.clock)
+                Poll::Ready(vp.clock())
             } else {
                 // Spurious poll (should not happen with the kernel's
                 // wake-then-poll discipline, but harmless).
-                vp.state = crate::vp::VpState::Blocked;
+                vp.set_state(crate::vp::VpState::Blocked);
                 Poll::Pending
             }
         })
@@ -141,10 +141,9 @@ impl Future for BlockFuture {
 /// wait before suspending. Pair with [`block_prearmed`].
 pub fn arm_wait(class: WaitClass, desc: &'static str) -> WaitToken {
     with_kernel(|k, r| {
-        let vp = k.vp_mut(r);
         // begin_wait asserts Running; arming happens mid-poll, so the VP
         // is Running.
-        vp.begin_wait(class, desc)
+        k.vp_mut(r).begin_wait(class, desc)
     })
 }
 
@@ -163,12 +162,12 @@ impl Future for PrearmedFuture {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<SimTime> {
         with_kernel(|k, rank| {
-            let vp = k.vp_mut(rank);
-            debug_assert_eq!(vp.wait_token, self.token, "wait token mismatch");
+            let mut vp = k.vp_mut(rank);
+            debug_assert_eq!(vp.wait_token(), self.token, "wait token mismatch");
             if vp.take_woken() {
-                Poll::Ready(vp.clock)
+                Poll::Ready(vp.clock())
             } else {
-                vp.state = crate::vp::VpState::Blocked;
+                vp.set_state(crate::vp::VpState::Blocked);
                 Poll::Pending
             }
         })
@@ -182,7 +181,7 @@ impl Future for PrearmedFuture {
 /// there (§IV-B).
 pub async fn sleep(d: SimTime) {
     let (deadline, token) = with_kernel(|k, rank| {
-        let deadline = k.vp(rank).clock + d;
+        let deadline = k.vp(rank).clock() + d;
         let token = k.vp_mut(rank).begin_wait(WaitClass::Compute, "compute");
         k.schedule_at(deadline, rank, crate::event::Action::WakeToken(token));
         (deadline, token)
@@ -195,10 +194,9 @@ pub async fn sleep(d: SimTime) {
         // Spurious wake (e.g. released by an upper layer); re-block on
         // the same token — the original wake event is still scheduled.
         with_kernel(|k, rank| {
-            let vp = k.vp_mut(rank);
-            vp.state = crate::vp::VpState::Running;
-            vp.begin_wait(WaitClass::Compute, "compute");
-            vp.wait_token = token; // keep the scheduled wake valid
+            // Re-block on the same token: the scheduled wake stays valid.
+            k.vp_mut(rank)
+                .rearm_wait(WaitClass::Compute, "compute", token);
         });
     }
 }
@@ -208,7 +206,7 @@ pub async fn sleep(d: SimTime) {
 /// interleave deterministically.
 pub async fn yield_now() {
     let token = with_kernel(|k, rank| {
-        let now = k.vp(rank).clock;
+        let now = k.vp(rank).clock();
         let token = k.vp_mut(rank).begin_wait(WaitClass::Compute, "yield");
         k.schedule_at(now, rank, crate::event::Action::WakeToken(token));
         token
@@ -221,15 +219,15 @@ pub async fn yield_now() {
 /// immediately" of paper §IV-B. The VP never resumes.
 pub async fn fail_now() -> ! {
     with_kernel(|k, rank| {
-        let now = k.vp(rank).clock;
-        k.vp_mut(rank).time_of_failure = Some(now);
+        let now = k.vp(rank).clock();
+        k.vp_mut(rank).set_time_of_failure(now);
         k.schedule_at(
             now,
             rank,
-            crate::event::Action::Call(Box::new(move |k: &mut Kernel| {
-                let clock = k.vp(rank).clock;
+            crate::event::Action::call(move |k: &mut Kernel| {
+                let clock = k.vp(rank).clock();
                 k.kill_failed(rank, now, clock);
-            })),
+            }),
         );
     });
     loop {

@@ -61,12 +61,19 @@ pub(crate) fn assemble_report(
     let mut context_switches = 0;
     let mut shard_stats = Vec::with_capacity(shards.len());
 
+    let mut profile = profile;
     let mut shards = shards;
     for shard in &mut shards {
         // Flush upper-layer state (trace buffers, metric sets) before
         // reading results, so sinks are complete without relying on the
         // shard's Drop order.
         shard.run_shutdown_hooks();
+        // Fold this shard's queue allocation/occupancy counters into the
+        // profile (execution-shape data; both engines report it).
+        let qs = shard.queue.stats();
+        profile.pool_pushes += qs.pushes;
+        profile.pool_reused += qs.reused;
+        profile.queue_bucket_hwm = profile.queue_bucket_hwm.max(qs.bucket_hwm);
         blocked.extend(shard.blocked_summary());
         for (r, clock, term) in shard.drain_results() {
             final_clocks[r] = clock;

@@ -15,8 +15,36 @@
 //! * **Phase B (execute + flush):** process the shard's events below
 //!   the window bound (or under the clamped exclusive drain described
 //!   below), then swap its outbox lanes into the exchange slots
-//!   (batched delivery, buffers recycled between windows).
+//!   (batched delivery, buffers recycled between windows) and
+//!   re-publish the shard's post-execution next event time.
 //! * **Barrier 2**, then the next window.
+//!
+//! ## Skipped ingest windows
+//!
+//! Phase A exists to ingest the previous window's exchange and publish
+//! bounds that account for it. When a window exchanges *nothing* —
+//! overwhelmingly common for compute-heavy workloads, where many
+//! windows pass between communication bursts — the next window's
+//! Phase A (and barrier 1 with it) is pure overhead: the bounds each
+//! shard published at the end of Phase B are already exact. The engine
+//! tracks the last window that flushed any outbox lane in a monotonic
+//! marker; after barrier 2 every worker reads it and deterministically
+//! agrees whether the next window starts at Phase A or jumps straight
+//! to Phase B. This halves the barrier count (and removes an
+//! O(shards²) slot scan) on exchange-free windows. Window 0 always
+//! runs Phase A: it doubles as per-shard setup.
+//!
+//! Because a worker that finishes its min-scan early enters Phase B
+//! while slower workers are still scanning, the published bounds are
+//! double-buffered: window `w` scans (and Phase A writes) buffer
+//! `w % 2`, while Phase B publishes its post-execution bounds into
+//! buffer `(w + 1) % 2`. Every write is thus separated from every
+//! scan that reads it by a barrier, and all workers derive identical
+//! window parameters.
+//!
+//! The slot scan itself is driven by per-destination atomic bitmasks of
+//! non-empty exchange slots, so an ingest phase locks exactly the
+//! (src → dst) lanes that carry traffic instead of all `n_shards²`.
 //!
 //! ## Window-bound safety
 //!
@@ -40,13 +68,15 @@
 //! ## Determinism
 //!
 //! Each shard processes its events in ascending `(time, dst, src, seq)`
-//! key order; keys are globally unique and heap order is insertion-order
-//! independent, so batching the exchange cannot reorder anything.
-//! `Call` actions only mutate destination-rank state, and per-source
-//! `seq` counters advance on the source's owning shard alone —
-//! per-rank event histories, and therefore all virtual-time results,
+//! key order; keys are globally unique and pop-min order is
+//! insertion-order independent, so batching the exchange cannot reorder
+//! anything. `Call` actions only mutate destination-rank state, and
+//! per-source `seq` counters advance on the source's owning shard alone
+//! — per-rank event histories, and therefore all virtual-time results,
 //! are identical to the sequential engine's for any worker or shard
-//! count. Only the [`EngineProfile`] execution-shape counters (windows,
+//! count. Skipping an ingest phase only elides synchronization that had
+//! nothing to synchronize; the window-bound arithmetic is unchanged.
+//! Only the [`EngineProfile`] execution-shape counters (windows, skips,
 //! steals, barrier waits, batch sizes) vary.
 
 use super::{assemble_report, SetupFn};
@@ -58,45 +88,74 @@ use crate::report::{EngineProfile, SimReport};
 use crate::time::SimTime;
 use crate::vp::VpProgram;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 /// Shared synchronization state of one parallel run.
 struct SyncState {
-    /// Per-shard next pending event time (u64::MAX = idle). Written in
-    /// Phase A, read between the barriers — stable when read.
-    next_times: Vec<AtomicU64>,
+    /// Double-buffered per-shard next pending event time (u64::MAX =
+    /// idle). Window `w` scans buffer `w % 2`; Phase A publishes into
+    /// that same buffer, while Phase B publishes its post-execution
+    /// bound into buffer `(w + 1) % 2` for the *next* window. The
+    /// split matters: a worker that finishes its scan early enters
+    /// Phase B while slower workers are still scanning, so Phase B
+    /// must never write the buffer the current window reads — with
+    /// one buffer the racing writes made workers derive different
+    /// `min1` values (unsound bounds, divergent exits, deadlock at
+    /// the barrier).
+    next_times: [Vec<AtomicU64>; 2],
     /// Exchange slot matrix: `slots[dst][src]` carries the batch of
     /// events shard `src` produced for shard `dst` this window. Phase B
     /// swaps a full outbox lane in; Phase A drains it (keeping the
     /// allocation), so the two buffers per (src,dst) pair ping-pong and
     /// steady-state traffic allocates nothing.
     slots: Vec<Vec<Mutex<Vec<EventRec>>>>,
-    /// Window barrier (two crossings per window).
+    /// Per-destination bitmask of source shards with a non-empty slot
+    /// (`filled[dst][src / 64]` bit `src % 64`). Lets Phase A lock only
+    /// the lanes that carry traffic.
+    filled: Vec<Vec<AtomicU64>>,
+    /// Index+1 of the most recent window that flushed any outbox lane.
+    /// Monotonic; read after barrier 2 to decide whether the next
+    /// window needs an ingest phase at all.
+    exchanged: AtomicU64,
+    /// Window barrier (at most two crossings per window).
     barrier: Barrier,
-    /// Monotonic ticket counter driving the work-stealing pool: ticket
-    /// `t` denotes shard `t % n_shards` of phase `(t / n_shards) % 2`.
+    /// Monotonic ticket counter driving the work-stealing pool: with
+    /// `p` executed phases so far, tickets `p*n_shards..(p+1)*n_shards`
+    /// map to the shards of the current phase. (Workers track `p`
+    /// locally; skipped phases consume no tickets.)
     ticket: AtomicUsize,
     /// Aggregate processed-event counter for the budget check.
     events: AtomicU64,
-    /// Set when any shard trips the event budget.
-    over_budget: AtomicBool,
+    /// Window index during which the event budget first tripped
+    /// (u64::MAX: never). The exit check compares it against the
+    /// *current* window, so a trip during window `w` — which some
+    /// workers may observe mid-scan and others not — halts everyone
+    /// uniformly at the start of window `w + 1`.
+    budget_window: AtomicU64,
     /// Merged execution profile (workers fold theirs in on exit).
     profile: Mutex<EngineProfile>,
 }
 
-/// Claim the next ticket below `end`; returns the claimed ticket.
+/// Claim up to `chunk` consecutive tickets below `end`; returns the
+/// claimed range. Chunking amortizes the contended atomic over several
+/// shard-tasks when shards heavily outnumber workers.
 #[inline]
-fn claim(ticket: &AtomicUsize, end: usize) -> Option<usize> {
+fn claim(ticket: &AtomicUsize, end: usize, chunk: usize) -> Option<Range<usize>> {
+    let mut got = 0..0;
     ticket
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
             if t < end {
-                Some(t + 1)
+                let take = chunk.min(end - t);
+                got = t..t + take;
+                Some(t + take)
             } else {
                 None
             }
         })
         .ok()
+        .map(|_| got)
 }
 
 /// Run the simulation across up to `cfg.workers` worker threads pulling
@@ -112,9 +171,13 @@ pub fn run_parallel(
     let n_shards = cfg.n_shards();
     let per = cfg.ranks_per_shard();
     let nthreads = cfg.workers.min(n_shards).max(1);
+    let mask_words = n_shards.div_ceil(64);
 
     let sync = SyncState {
-        next_times: (0..n_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        next_times: [
+            (0..n_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            (0..n_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        ],
         slots: (0..n_shards)
             .map(|_| {
                 (0..n_shards)
@@ -122,10 +185,14 @@ pub fn run_parallel(
                     .collect()
             })
             .collect(),
+        filled: (0..n_shards)
+            .map(|_| (0..mask_words).map(|_| AtomicU64::new(0)).collect())
+            .collect(),
+        exchanged: AtomicU64::new(0),
         barrier: Barrier::new(nthreads),
         ticket: AtomicUsize::new(0),
         events: AtomicU64::new(0),
-        over_budget: AtomicBool::new(false),
+        budget_window: AtomicU64::new(u64::MAX),
         profile: Mutex::new(EngineProfile::default()),
     };
 
@@ -150,7 +217,7 @@ pub fn run_parallel(
         }
     });
 
-    if sync.over_budget.load(Ordering::Relaxed) {
+    if sync.budget_window.load(Ordering::Relaxed) != u64::MAX {
         return Err(SimError::EventBudgetExceeded {
             processed: sync.events.load(Ordering::Relaxed),
         });
@@ -180,47 +247,77 @@ fn worker_loop(
     let n_shards = kernels.len();
     let budget_limited = cfg.max_events != u64::MAX;
     let mut prof = EngineProfile::default();
-    let mut window: usize = 0;
+    let mut window: u64 = 0;
+    // Executed-phase counter: every worker advances it identically (the
+    // skip decision is derived from shared state read after a barrier),
+    // so `phase * n_shards` bounds the ticket range without encoding
+    // skipped phases.
+    let mut phase: usize = 0;
+    // Chunk ticket claims when shards heavily oversubscribe the pool;
+    // keep the tail fine-grained so stealing still balances stragglers.
+    let chunk = (n_shards / (nthreads * 4)).max(1);
+    let mut need_ingest = true; // window 0: setup + initial publish
 
     loop {
-        // ---- Phase A: ingest exchanged batches, publish lower bounds.
-        let phase_a_end = (2 * window + 1) * n_shards;
-        while let Some(t) = claim(&sync.ticket, phase_a_end) {
-            let s = t % n_shards;
-            let mut k = kernels[s].lock();
-            if window == 0 {
-                // First touch of this shard: install services and
-                // scheduled injections before publishing its bound.
-                setup(&mut k);
-            }
-            for src in 0..n_shards {
-                let mut slot = sync.slots[s][src].lock();
-                if slot.is_empty() {
-                    continue;
+        // This window's scan buffer; Phase B publishes into the other
+        // one (see `SyncState::next_times`).
+        let cur = (window % 2) as usize;
+        if need_ingest {
+            // ---- Phase A: ingest exchanged batches, publish bounds.
+            let end = (phase + 1) * n_shards;
+            while let Some(tickets) = claim(&sync.ticket, end, chunk) {
+                for t in tickets {
+                    let s = t % n_shards;
+                    let mut k = kernels[s].lock();
+                    if window == 0 {
+                        // First touch of this shard: install services and
+                        // scheduled injections before publishing its bound.
+                        setup(&mut k);
+                    }
+                    for (w, word) in sync.filled[s].iter().enumerate() {
+                        let mut bits = word.swap(0, Ordering::Relaxed);
+                        while bits != 0 {
+                            let src = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let mut slot = sync.slots[s][src].lock();
+                            prof.batched_events += slot.len() as u64;
+                            prof.batch_max_events =
+                                prof.batch_max_events.max(slot.len() as u64);
+                            // drain() keeps the slot's capacity: the buffer
+                            // returns to the arena for the producer to swap
+                            // into next window.
+                            for ev in slot.drain(..) {
+                                debug_assert!(
+                                    k.owns(ev.key.dst),
+                                    "exchange misrouted an event"
+                                );
+                                k.queue.push(ev);
+                            }
+                        }
+                    }
+                    k.note_queue_depth();
+                    let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
+                    sync.next_times[cur][s].store(mine, Ordering::SeqCst);
                 }
-                prof.batched_events += slot.len() as u64;
-                prof.batch_max_events = prof.batch_max_events.max(slot.len() as u64);
-                // drain() keeps the slot's capacity: the buffer returns
-                // to the arena for the producer to swap into next window.
-                for ev in slot.drain(..) {
-                    debug_assert!(k.owns(ev.key.dst), "exchange misrouted an event");
-                    k.queue.push(ev);
-                }
             }
-            k.note_queue_depth();
-            let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
-            sync.next_times[s].store(mine, Ordering::SeqCst);
+            phase += 1;
+            let wait = std::time::Instant::now();
+            sync.barrier.wait();
+            let waited = wait.elapsed().as_nanos() as u64;
+            prof.barrier_wait_ns += waited;
+            prof.window_barrier_hwm_ns = prof.window_barrier_hwm_ns.max(waited);
+        } else {
+            prof.ingest_skips += 1;
         }
-        let wait = std::time::Instant::now();
-        sync.barrier.wait();
-        prof.barrier_wait_ns += wait.elapsed().as_nanos() as u64;
 
-        // ---- Between barriers: every worker independently derives the
-        // same window parameters from the (now stable) published bounds.
+        // ---- Every worker independently derives the same window
+        // parameters from the (stable) published bounds: after barrier 1
+        // when Phase A ran, straight after barrier 2 of the previous
+        // window when it was skipped.
         let mut min1 = u64::MAX;
         let mut min2 = u64::MAX;
         let mut min1_count = 0u32;
-        for t in &sync.next_times {
+        for t in &sync.next_times[cur] {
             let v = t.load(Ordering::SeqCst);
             if v < min1 {
                 min2 = min1;
@@ -232,11 +329,13 @@ fn worker_loop(
                 min2 = v;
             }
         }
-        if min1 == u64::MAX || sync.over_budget.load(Ordering::Relaxed) {
-            // No shard has pending work (or the budget tripped during the
-            // previous window): the run is over, consistently for every
-            // worker — over_budget is only written before barrier 2, so
-            // all workers observe the same value here.
+        if min1 == u64::MAX || sync.budget_window.load(Ordering::Relaxed) < window {
+            // No shard has pending work, or the budget tripped during a
+            // *previous* window: the run is over, consistently for
+            // every worker. (A trip during the current window — which a
+            // worker already in Phase B may cause while another is
+            // still here — deliberately does not exit yet: `w < w` is
+            // false for both, so nobody diverges.)
             break;
         }
         prof.windows += 1;
@@ -248,91 +347,126 @@ fn worker_loop(
         };
 
         // ---- Phase B: execute each shard's window, flush its batches.
-        let phase_b_end = (2 * window + 2) * n_shards;
-        while let Some(t) = claim(&sync.ticket, phase_b_end) {
-            let s = t % n_shards;
-            if s % nthreads != worker_id {
-                prof.steals += 1;
-            }
-            let mut k = kernels[s].lock();
-            let next = sync.next_times[s].load(Ordering::SeqCst);
-            // The sole shard with pending work drains unboundedly, under
-            // the dynamic emission clamp below; everyone else stops at
-            // the shared conservative bound.
-            let exclusive = min2 == u64::MAX && next == min1 && min1_count == 1;
-            let bound = if exclusive {
-                u64::MAX
-            } else {
-                window_bound(min1, la)
-            };
-            let base = if budget_limited {
-                sync.events.load(Ordering::Relaxed)
-            } else {
-                0
-            };
-            let mut processed = 0u64;
-            loop {
-                // Re-clamped every iteration: processing may emit new
-                // cross-shard events, and a later emission can carry an
-                // *earlier* arrival time. The clamp never cuts below the
-                // current processing point (an emission from time `t`
-                // arrives ≥ `t + la`, putting the clamp ≥ `t + 2·la`).
-                let eff = bound.min(k.outbox_min.saturating_add(la));
-                let Some(ev) = k.queue.pop_before(SimTime(eff)) else {
-                    break;
+        let end = (phase + 1) * n_shards;
+        let mut window_steals = 0u64;
+        while let Some(tickets) = claim(&sync.ticket, end, chunk) {
+            for t in tickets {
+                let s = t % n_shards;
+                if s % nthreads != worker_id {
+                    window_steals += 1;
+                }
+                let mut k = kernels[s].lock();
+                let next = sync.next_times[cur][s].load(Ordering::SeqCst);
+                // The sole shard with pending work drains unboundedly,
+                // under the dynamic emission clamp below; everyone else
+                // stops at the shared conservative bound.
+                let exclusive = min2 == u64::MAX && next == min1 && min1_count == 1;
+                let bound = if exclusive {
+                    u64::MAX
+                } else {
+                    window_bound(min1, la)
                 };
-                debug_assert!(
-                    ev.key.time.as_nanos() >= min1,
-                    "event below the window's lower bound"
-                );
-                k.process(ev);
-                processed += 1;
-                // In-loop check: in an unclamped exclusive drain a
-                // runaway program would otherwise never leave this loop.
-                if budget_limited
-                    && (base + processed > cfg.max_events
-                        || sync.over_budget.load(Ordering::Relaxed))
-                {
-                    sync.over_budget.store(true, Ordering::Relaxed);
-                    break;
-                }
-            }
-            let total = sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
-            if total > cfg.max_events {
-                sync.over_budget.store(true, Ordering::Relaxed);
-            }
-            for dst in 0..n_shards {
-                if k.outbox[dst].is_empty() {
-                    continue;
-                }
-                #[cfg(debug_assertions)]
-                {
-                    // No receiver processed past the shared bound this
-                    // window, so every exchanged event must land at or
-                    // beyond it.
-                    let dst_bound = window_bound(min1, la);
-                    for ev in &k.outbox[dst] {
-                        debug_assert!(
-                            ev.key.time.as_nanos() >= dst_bound,
-                            "cross-shard event below the receiver's window bound: \
-                             {:?} < {:?}",
-                            ev.key.time,
-                            SimTime(dst_bound)
-                        );
+                let base = if budget_limited {
+                    sync.events.load(Ordering::Relaxed)
+                } else {
+                    0
+                };
+                let mut processed = 0u64;
+                loop {
+                    // Re-clamped every iteration: processing may emit new
+                    // cross-shard events, and a later emission can carry
+                    // an *earlier* arrival time. The clamp never cuts
+                    // below the current processing point (an emission
+                    // from time `t` arrives ≥ `t + la`, putting the clamp
+                    // ≥ `t + 2·la`).
+                    let eff = bound.min(k.outbox_min.saturating_add(la));
+                    let Some(ev) = k.queue.pop_before(SimTime(eff)) else {
+                        break;
+                    };
+                    debug_assert!(
+                        ev.key.time.as_nanos() >= min1,
+                        "event below the window's lower bound"
+                    );
+                    k.process(ev);
+                    processed += 1;
+                    // In-loop check: in an unclamped exclusive drain a
+                    // runaway program would otherwise never leave this
+                    // loop.
+                    if budget_limited
+                        && (base + processed > cfg.max_events
+                            || sync.budget_window.load(Ordering::Relaxed) != u64::MAX)
+                    {
+                        sync.budget_window.fetch_min(window, Ordering::Relaxed);
+                        break;
                     }
                 }
-                let mut slot = sync.slots[dst][s].lock();
-                debug_assert!(slot.is_empty(), "exchange slot not drained in Phase A");
-                // Swap the filled lane in and take the drained slot
-                // buffer back as next window's lane: zero-copy handoff,
-                // capacities recycled.
-                std::mem::swap(&mut *slot, &mut k.outbox[dst]);
+                if budget_limited {
+                    let total =
+                        sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
+                    if total > cfg.max_events {
+                        sync.budget_window.fetch_min(window, Ordering::Relaxed);
+                    }
+                } else {
+                    sync.events.fetch_add(processed, Ordering::Relaxed);
+                }
+                let mut flushed = false;
+                for dst in 0..n_shards {
+                    if k.outbox[dst].is_empty() {
+                        continue;
+                    }
+                    #[cfg(debug_assertions)]
+                    {
+                        // No receiver processed past the shared bound this
+                        // window, so every exchanged event must land at or
+                        // beyond it.
+                        let dst_bound = window_bound(min1, la);
+                        for ev in &k.outbox[dst] {
+                            debug_assert!(
+                                ev.key.time.as_nanos() >= dst_bound,
+                                "cross-shard event below the receiver's window \
+                                 bound: {:?} < {:?}",
+                                ev.key.time,
+                                SimTime(dst_bound)
+                            );
+                        }
+                    }
+                    let mut slot = sync.slots[dst][s].lock();
+                    debug_assert!(slot.is_empty(), "exchange slot not drained in Phase A");
+                    // Swap the filled lane in and take the drained slot
+                    // buffer back as next window's lane: zero-copy
+                    // handoff, capacities recycled.
+                    std::mem::swap(&mut *slot, &mut k.outbox[dst]);
+                    sync.filled[dst][s / 64].fetch_or(1 << (s % 64), Ordering::Relaxed);
+                    flushed = true;
+                }
+                k.outbox_min = u64::MAX;
+                if flushed {
+                    sync.exchanged.fetch_max(window + 1, Ordering::Relaxed);
+                }
+                // Post-execution bound for the *next* window's scan
+                // buffer: exact unless a peer exchanged events toward
+                // this shard (in which case the next window runs
+                // Phase A and overwrites it after ingest).
+                let mine = k.queue.next_time().map_or(u64::MAX, |t| t.as_nanos());
+                sync.next_times[1 - cur][s].store(mine, Ordering::SeqCst);
             }
-            k.outbox_min = u64::MAX;
         }
+        prof.steals += window_steals;
+        prof.window_steal_hwm = prof.window_steal_hwm.max(window_steals);
+        phase += 1;
         let wait = std::time::Instant::now();
         sync.barrier.wait();
-        prof.barrier_wait_ns += wait.elapsed().as_nanos() as u64;
+        let waited = wait.elapsed().as_nanos() as u64;
+        prof.barrier_wait_ns += waited;
+        prof.window_barrier_hwm_ns = prof.window_barrier_hwm_ns.max(waited);
+        // All of this window's flushes happen-before this point
+        // (barrier), so a marker of exactly `window + 1` is stable and
+        // every worker takes the same branch. Exact equality matters:
+        // when nothing was exchanged, a fast worker skips ahead into
+        // the next window's Phase B and may flush (marker `window + 2`)
+        // before a slow worker reads — `> window` would diverge here,
+        // `== window + 1` cannot.
+        need_ingest = sync.exchanged.load(Ordering::Relaxed) == window + 1;
         window += 1;
     }
 

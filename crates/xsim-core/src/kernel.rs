@@ -1,9 +1,10 @@
 //! The kernel: one shard of the simulation state.
 //!
-//! A kernel owns a contiguous block of VPs, their pending-event queue and
-//! the per-shard services of upper layers. The sequential engine uses a
-//! single kernel; the parallel engine runs one kernel per worker thread
-//! and exchanges cross-shard events at conservative window boundaries.
+//! A kernel owns a contiguous block of VPs (a SoA [`VpTable`]), their
+//! pending-event queue and the per-shard services of upper layers. The
+//! sequential engine uses a single kernel; the parallel engine runs one
+//! kernel per worker thread and exchanges cross-shard events at
+//! conservative window boundaries.
 //!
 //! ## Determinism contract
 //!
@@ -25,7 +26,8 @@ use crate::rank::Rank;
 use crate::rng::DetRng;
 use crate::service::{Service, ServiceMap};
 use crate::time::SimTime;
-use crate::vp::{Vp, VpExit, VpProgram, VpState, WaitClass};
+use crate::vp::{VpExit, VpMut, VpProgram, VpRef, VpState, VpTable, WaitClass};
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
@@ -47,16 +49,19 @@ pub struct Kernel {
     pub shard_id: usize,
     /// Shared engine configuration.
     pub cfg: Arc<CoreConfig>,
-    /// Ranks owned by this shard.
-    owned: Range<usize>,
-    /// VP table; `Some` only for owned ranks.
-    vps: Vec<Option<Vp>>,
+    /// SoA table of the VPs this shard owns.
+    vps: VpTable,
     /// Pending events for owned ranks.
     pub(crate) queue: EventQueue,
     /// Per-shard upper-layer state.
     services: ServiceMap,
-    /// Per-rank event sequence counters (indexed by rank).
+    /// Event sequence counters for owned ranks, indexed by `rank − base`.
+    /// Dense and shard-local: per-shard memory stays O(owned ranks).
     seq: Vec<u64>,
+    /// Sequence counters for the rare foreign-src attributions (events
+    /// scheduled outside any execution context to a foreign rank, e.g.
+    /// setup-phase injections). Cold path.
+    foreign_seq: BTreeMap<usize, u64>,
     /// Events destined for other shards, one batch lane per destination
     /// shard, flushed wholesale at window boundaries. Lane buffers are
     /// recycled through the engine's exchange-slot arena, so steady-state
@@ -99,23 +104,18 @@ impl Kernel {
         owned: Range<usize>,
         program: Arc<dyn VpProgram>,
     ) -> Self {
-        let n = cfg.n_ranks;
-        let mut vps: Vec<Option<Vp>> = (0..n).map(|_| None).collect();
-        for r in owned.clone() {
-            vps[r] = Some(Vp::new(Rank::new(r), cfg.start_time));
-        }
         let n_shards = cfg.n_shards();
         let outbox = (0..n_shards)
             .map(|_| Vec::with_capacity(cfg.batch_hint))
             .collect();
         Kernel {
             shard_id,
+            vps: VpTable::new(owned.clone(), cfg.start_time),
             cfg,
-            owned,
-            vps,
             queue: EventQueue::new(),
             services: ServiceMap::new(),
-            seq: vec![0; n],
+            seq: vec![0; owned.len()],
+            foreign_seq: BTreeMap::new(),
             outbox,
             outbox_min: u64::MAX,
             program,
@@ -133,13 +133,13 @@ impl Kernel {
 
     /// The ranks this shard owns.
     pub fn owned_ranks(&self) -> Range<usize> {
-        self.owned.clone()
+        self.vps.owned_ranks()
     }
 
     /// Whether this shard owns `rank`.
     #[inline]
     pub fn owns(&self, rank: Rank) -> bool {
-        self.owned.contains(&rank.idx())
+        self.vps.contains(rank)
     }
 
     /// Number of owned VPs that have terminated.
@@ -149,23 +149,19 @@ impl Kernel {
 
     /// Whether every owned VP has terminated.
     pub fn all_done(&self) -> bool {
-        self.done == self.owned.len()
+        self.done == self.vps.len()
     }
 
     /// Shared view of an owned VP.
     #[inline]
-    pub fn vp(&self, rank: Rank) -> &Vp {
-        self.vps[rank.idx()]
-            .as_ref()
-            .expect("VP not owned by this shard")
+    pub fn vp(&self, rank: Rank) -> VpRef<'_> {
+        self.vps.get(rank)
     }
 
     /// Mutable view of an owned VP.
     #[inline]
-    pub fn vp_mut(&mut self, rank: Rank) -> &mut Vp {
-        self.vps[rank.idx()]
-            .as_mut()
-            .expect("VP not owned by this shard")
+    pub fn vp_mut(&mut self, rank: Rank) -> VpMut<'_> {
+        self.vps.get_mut(rank)
     }
 
     /// The rank currently being executed or processed.
@@ -177,7 +173,7 @@ impl Kernel {
     /// Virtual clock of the attributed rank.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.vp(self.attributed_rank()).clock
+        self.vp(self.attributed_rank()).clock()
     }
 
     /// Register a failure hook (MPI layer notification broadcast).
@@ -251,6 +247,21 @@ impl Kernel {
     // Scheduling
     // ------------------------------------------------------------------
 
+    /// Bump and return the next sequence number attributed to `src`.
+    #[inline]
+    fn next_seq(&mut self, src: Rank) -> u64 {
+        if self.vps.contains(src) {
+            let local = src.idx() - self.owned_ranks().start;
+            let s = &mut self.seq[local];
+            *s += 1;
+            *s
+        } else {
+            let s = self.foreign_seq.entry(src.idx()).or_insert(0);
+            *s += 1;
+            *s
+        }
+    }
+
     /// Schedule `action` to fire at `dst` at absolute virtual time `time`.
     ///
     /// In parallel mode, events crossing shards must respect the
@@ -258,13 +269,13 @@ impl Kernel {
     /// is checked in debug builds.
     pub fn schedule_at(&mut self, time: SimTime, dst: Rank, action: Action) {
         let src = self.attrib.unwrap_or(dst);
-        self.seq[src.idx()] += 1;
+        let seq = self.next_seq(src);
         let rec = EventRec {
             key: EventKey {
                 time,
                 dst,
                 src,
-                seq: self.seq[src.idx()],
+                seq,
             },
             action,
         };
@@ -282,7 +293,7 @@ impl Kernel {
     /// Schedule the initial spawn events for every owned rank.
     pub fn schedule_spawns(&mut self) {
         let t0 = self.cfg.start_time;
-        for r in self.owned.clone() {
+        for r in self.owned_ranks() {
             let rank = Rank::new(r);
             self.queue.push(EventRec {
                 key: EventKey {
@@ -310,28 +321,27 @@ impl Kernel {
         self.attrib = Some(dst);
         match ev.action {
             Action::Spawn => {
-                if self.vp(dst).state == VpState::Fresh {
+                if self.vps.get(dst).state() == VpState::Fresh {
                     let fut = self.program.clone().spawn(dst);
-                    let vp = self.vp_mut(dst);
-                    vp.future = Some(fut);
-                    vp.state = VpState::Runnable;
-                    vp.woken = true;
+                    let mut vp = self.vps.get_mut(dst);
+                    vp.put_future(fut);
+                    vp.deliver_wake();
                     self.resume(dst);
                 }
             }
             Action::WakeToken(token) => {
-                let vp = self.vp_mut(dst);
-                if vp.state == VpState::Blocked && vp.wait_token == token {
+                let vp = self.vps.get(dst);
+                if vp.state() == VpState::Blocked && vp.wait_token() == token {
                     self.wake(dst, ev.key.time);
                 }
             }
             Action::WakeMessage => {
-                let vp = self.vp_mut(dst);
-                if vp.state == VpState::Blocked && vp.wait_class == WaitClass::Message {
+                let vp = self.vps.get(dst);
+                if vp.state() == VpState::Blocked && vp.wait_class() == WaitClass::Message {
                     self.wake(dst, ev.key.time);
                 }
             }
-            Action::Call(f) => f(self),
+            Action::Call(f) => f.invoke(self),
         }
         self.attrib = prev_attrib;
     }
@@ -339,13 +349,12 @@ impl Kernel {
     /// Wake a blocked VP at virtual time `time` (clock advances to at
     /// least `time`) and run it until it blocks again or terminates.
     pub fn wake(&mut self, rank: Rank, time: SimTime) {
-        let vp = self.vp_mut(rank);
-        if vp.state != VpState::Blocked {
+        let mut vp = self.vps.get_mut(rank);
+        if vp.state() != VpState::Blocked {
             return;
         }
-        vp.state = VpState::Runnable;
-        vp.woken = true;
-        vp.clock = vp.clock.max(time);
+        vp.deliver_wake();
+        vp.advance_clock(time);
         self.resume(rank);
     }
 
@@ -353,9 +362,9 @@ impl Kernel {
     /// whether a wake happened. Upper layers call this after delivering
     /// data that may satisfy the wait.
     pub fn wake_if_message_blocked(&mut self, rank: Rank, time: SimTime) -> bool {
-        let vp = self.vp_mut(rank);
-        if vp.state == VpState::Blocked
-            && matches!(vp.wait_class, WaitClass::Message | WaitClass::FileIo)
+        let vp = self.vps.get(rank);
+        if vp.state() == VpState::Blocked
+            && matches!(vp.wait_class(), WaitClass::Message | WaitClass::FileIo)
         {
             self.wake(rank, time);
             true
@@ -372,16 +381,16 @@ impl Kernel {
         // Activation checks (paper §IV-B: "the simulated process is
         // failed with the simulated process time the simulator regains
         // control when it has reached or passed the time of failure").
-        let vp = self.vp_mut(rank);
-        debug_assert_eq!(vp.state, VpState::Runnable);
-        let clock = vp.clock;
-        if let Some(tof) = vp.time_of_failure {
+        let vp = self.vps.get(rank);
+        debug_assert_eq!(vp.state(), VpState::Runnable);
+        let clock = vp.clock();
+        if let Some(tof) = vp.time_of_failure() {
             if clock >= tof {
                 self.kill_failed(rank, tof, clock);
                 return;
             }
         }
-        if let Some(ab) = vp.abort_at {
+        if let Some(ab) = vp.abort_at() {
             if clock >= ab {
                 self.terminate_aborted(rank, clock);
                 return;
@@ -389,10 +398,10 @@ impl Kernel {
         }
 
         self.context_switches += 1;
-        let vp = self.vp_mut(rank);
-        vp.state = VpState::Running;
-        vp.resumes += 1;
-        let mut fut = vp.future.take().expect("runnable VP must have a future");
+        let mut vp = self.vps.get_mut(rank);
+        vp.set_state(VpState::Running);
+        vp.bump_resumes();
+        let mut fut = vp.take_future().expect("runnable VP must have a future");
 
         let waker = Waker::noop();
         let mut cx = Context::from_waker(waker);
@@ -403,40 +412,40 @@ impl Kernel {
 
         match poll {
             Poll::Pending => {
-                let vp = self.vp_mut(rank);
+                let mut vp = self.vps.get_mut(rank);
                 debug_assert_eq!(
-                    vp.state,
+                    vp.state(),
                     VpState::Blocked,
                     "a VP future must only return Pending via ctx::block"
                 );
-                vp.future = Some(fut);
+                vp.put_future(fut);
             }
             Poll::Ready(exit) => {
                 drop(fut);
-                let clock = self.vp(rank).clock;
+                let clock = self.vps.get(rank).clock();
                 match exit {
                     VpExit::Finished => {
-                        let vp = self.vp_mut(rank);
-                        vp.state = VpState::Done;
-                        vp.termination = Some(Termination::Finished);
+                        let mut vp = self.vps.get_mut(rank);
+                        vp.set_state(VpState::Done);
+                        vp.set_termination(Termination::Finished);
                         self.done += 1;
                     }
                     VpExit::Failed => {
                         // Program-reported failure (e.g. returning from
                         // main without finalize): treat like an injected
                         // failure activating right now.
-                        let vp = self.vp_mut(rank);
-                        vp.state = VpState::Done;
-                        vp.termination = Some(Termination::Failed(clock));
+                        let mut vp = self.vps.get_mut(rank);
+                        vp.set_state(VpState::Done);
+                        vp.set_termination(Termination::Failed(clock));
                         self.done += 1;
                         self.record_failure(rank, clock, clock);
                         self.run_fail_hooks(rank, clock);
                     }
                     VpExit::Aborted => {
                         self.note_abort(clock);
-                        let vp = self.vp_mut(rank);
-                        vp.state = VpState::Done;
-                        vp.termination = Some(Termination::Aborted(clock));
+                        let mut vp = self.vps.get_mut(rank);
+                        vp.set_state(VpState::Done);
+                        vp.set_termination(Termination::Aborted(clock));
                         self.done += 1;
                     }
                 }
@@ -447,19 +456,18 @@ impl Kernel {
     /// Forcibly fail a VP: drop its future, record the failure, notify
     /// upper layers. Must not target the VP currently being polled.
     pub fn kill_failed(&mut self, rank: Rank, scheduled: SimTime, actual: SimTime) {
-        let vp = self.vp_mut(rank);
-        if vp.state == VpState::Done {
+        let mut vp = self.vps.get_mut(rank);
+        if vp.state() == VpState::Done {
             return;
         }
         debug_assert!(
-            vp.state != VpState::Running,
+            vp.state() != VpState::Running,
             "cannot kill the VP currently being polled"
         );
-        vp.future = None;
-        vp.state = VpState::Done;
-        vp.clock = vp.clock.max(actual);
-        let actual = vp.clock;
-        vp.termination = Some(Termination::Failed(actual));
+        vp.drop_future();
+        vp.set_state(VpState::Done);
+        let actual = vp.advance_clock(actual);
+        vp.set_termination(Termination::Failed(actual));
         self.done += 1;
         if self.cfg.verbose {
             eprintln!("xsim: process failure injected at rank {rank} at time {actual}");
@@ -470,16 +478,15 @@ impl Kernel {
 
     /// Terminate a VP due to (propagated) abort activation.
     pub fn terminate_aborted(&mut self, rank: Rank, time: SimTime) {
-        let vp = self.vp_mut(rank);
-        if vp.state == VpState::Done {
+        let mut vp = self.vps.get_mut(rank);
+        if vp.state() == VpState::Done {
             return;
         }
-        debug_assert!(vp.state != VpState::Running);
-        vp.future = None;
-        vp.state = VpState::Done;
-        vp.clock = vp.clock.max(time);
-        let t = vp.clock;
-        vp.termination = Some(Termination::Aborted(t));
+        debug_assert!(vp.state() != VpState::Running);
+        vp.drop_future();
+        vp.set_state(VpState::Done);
+        let t = vp.advance_clock(time);
+        vp.set_termination(Termination::Aborted(t));
         self.done += 1;
         self.note_abort(t);
     }
@@ -518,18 +525,20 @@ impl Kernel {
     /// With `fail_blocked` configured, also schedules an eager activation
     /// event at that time.
     pub fn set_time_of_failure(&mut self, rank: Rank, tof: SimTime) {
-        self.vp_mut(rank).time_of_failure = Some(tof);
+        self.vps.get_mut(rank).set_time_of_failure(tof);
         if self.cfg.fail_blocked {
             self.schedule_at(
                 tof,
                 rank,
-                Action::Call(Box::new(move |k: &mut Kernel| {
-                    let vp = k.vp_mut(rank);
-                    if vp.state == VpState::Blocked && vp.wait_class != WaitClass::Compute {
-                        let actual = vp.clock.max(tof);
+                Action::call(move |k: &mut Kernel| {
+                    let vp = k.vp(rank);
+                    let releasable =
+                        vp.state() == VpState::Blocked && vp.wait_class() != WaitClass::Compute;
+                    let actual = vp.clock().max(tof);
+                    if releasable {
                         k.kill_failed(rank, tof, actual);
                     }
-                })),
+                }),
             );
         }
     }
@@ -537,37 +546,28 @@ impl Kernel {
     /// Set the earliest time at which `rank` must observe a propagated
     /// abort (paper §IV-D activation semantics).
     pub fn set_abort_at(&mut self, rank: Rank, time: SimTime) {
-        let vp = self.vp_mut(rank);
-        let t = match vp.abort_at {
-            Some(existing) => existing.min(time),
-            None => time,
-        };
-        vp.abort_at = Some(t);
+        self.vps.get_mut(rank).note_abort_at(time);
     }
 
     /// Snapshot of final clocks and terminations for owned ranks, used by
     /// the engines to assemble the report.
     pub(crate) fn drain_results(&mut self) -> Vec<(usize, SimTime, Termination)> {
-        self.owned
-            .clone()
-            .map(|r| {
-                let vp = self.vps[r].as_ref().expect("owned");
-                let term = vp.termination.unwrap_or(Termination::Finished);
-                (r, vp.clock, term)
+        self.vps
+            .iter()
+            .map(|(rank, vp)| {
+                let term = vp.termination().unwrap_or(Termination::Finished);
+                (rank.idx(), vp.clock(), term)
             })
             .collect()
     }
 
     /// Blocked-VP diagnostics for deadlock reporting.
     pub(crate) fn blocked_summary(&self) -> Vec<(Rank, SimTime, &'static str)> {
-        self.owned
-            .clone()
-            .filter_map(|r| {
-                let vp = self.vps[r].as_ref().expect("owned");
-                match vp.state {
-                    VpState::Done => None,
-                    _ => Some((vp.rank, vp.clock, vp.wait_desc)),
-                }
+        self.vps
+            .iter()
+            .filter_map(|(rank, vp)| match vp.state() {
+                VpState::Done => None,
+                _ => Some((rank, vp.clock(), vp.wait_desc())),
             })
             .collect()
     }

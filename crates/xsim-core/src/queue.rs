@@ -1,9 +1,24 @@
 //! The pending-event queue.
 //!
-//! A thin wrapper over `BinaryHeap` that (a) pops events in ascending
-//! [`EventKey`] order and (b) exposes the next
-//! event time, which the conservative parallel engine needs to compute the
-//! global lower bound on timestamps (LBTS).
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * **Calendar** (default): an O(1)-amortized calendar/ladder queue
+//!   over flat, recycled `Vec` buckets — the data-oriented hot core.
+//!   Pending events live in a ring of `nb` buckets, each covering one
+//!   `2^shift`-nanosecond slice of virtual time; events beyond the
+//!   ring's horizon wait in an overflow lane that is redistributed when
+//!   the ring drains. Buckets are sorted lazily (only when popped from
+//!   and only after new pushes dirtied them), and bucket/overflow
+//!   buffers keep their capacity across the run, so steady-state
+//!   push/pop performs zero allocations.
+//! * **Heap**: the original `BinaryHeap` implementation, kept as the
+//!   determinism oracle. Select it with `XSIM_ENGINE_QUEUE=heap` (the
+//!   default is `calendar`; any other value falls back to the default).
+//!
+//! Both pop the *current minimum* [`EventKey`]; since keys are globally
+//! unique, the two implementations produce byte-identical pop sequences
+//! for any push/pop interleaving — pinned by the oracle proptest in
+//! `tests/prop.rs` and the seeded differential test below.
 //!
 //! ## Tie-breaking audit
 //!
@@ -14,16 +29,56 @@
 //! source rank's *owning* shard (event attribution), so the full key is
 //! globally unique and its order is a property of the simulation alone,
 //! never of sharding: no shard count, worker count, exchange batching
-//! or heap insertion order can reorder ties. `BinaryHeap` itself is
-//! not insertion-order stable — determinism comes entirely from key
-//! uniqueness, which `queue_order_is_push_order_independent` below and
-//! the colliding-timestamp regression tests in `tests/engine.rs`
-//! pin down.
+//! or heap insertion order can reorder ties. Neither `BinaryHeap` nor
+//! the calendar buckets are insertion-order stable — determinism comes
+//! entirely from key uniqueness, which `queue_order_is_push_order_independent`
+//! below and the colliding-timestamp regression tests in
+//! `tests/engine.rs` pin down.
 
 use crate::event::{EventKey, EventRec};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which pending-event-queue implementation a kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueImpl {
+    /// Calendar/ladder queue over flat buckets (the default).
+    #[default]
+    Calendar,
+    /// `BinaryHeap` oracle (`XSIM_ENGINE_QUEUE=heap`).
+    Heap,
+}
+
+impl QueueImpl {
+    /// The implementation selected by `XSIM_ENGINE_QUEUE`, defaulting
+    /// to the calendar queue. Read per call: tests flip the variable
+    /// between runs, and a kernel constructs its queue exactly once.
+    pub fn from_env() -> Self {
+        match std::env::var("XSIM_ENGINE_QUEUE").as_deref() {
+            Ok("heap") => QueueImpl::Heap,
+            _ => QueueImpl::Calendar,
+        }
+    }
+}
+
+/// Allocation/occupancy counters of one queue, folded into the engine
+/// profile at shutdown. Execution-shape data, never part of determinism
+/// comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Total events pushed.
+    pub pushes: u64,
+    /// Pushes served from already-reserved bucket capacity (no
+    /// allocation). `reused / pushes` is the pool reuse ratio.
+    pub reused: u64,
+    /// High-water mark of events resident in a single calendar bucket.
+    pub bucket_hwm: u64,
+}
+
+// ---------------------------------------------------------------------
+// Heap implementation (oracle)
+// ---------------------------------------------------------------------
 
 struct HeapEntry(EventRec);
 
@@ -45,37 +100,433 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Min-queue of pending events with deterministic tie-breaking.
 #[derive(Default)]
-pub struct EventQueue {
+struct HeapQueue {
     heap: BinaryHeap<HeapEntry>,
+    stats: QueueStats,
+}
+
+impl HeapQueue {
+    #[inline]
+    fn push(&mut self, ev: EventRec) {
+        self.stats.pushes += 1;
+        if self.heap.len() < self.heap.capacity() {
+            self.stats.reused += 1;
+        }
+        self.heap.push(HeapEntry(ev));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<EventRec> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    #[inline]
+    fn next_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.0.key)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calendar implementation
+// ---------------------------------------------------------------------
+
+/// Initial bucket count (power of two).
+const INITIAL_BUCKETS: usize = 256;
+/// Initial bucket width: 2^10 ns ≈ 1 µs of virtual time per slice.
+const INITIAL_SHIFT: u32 = 10;
+/// Grow the ring when resident events exceed `buckets * GROW_LOAD`.
+const GROW_LOAD: usize = 4;
+/// Hard cap on the ring size (2^20 buckets ≈ 8 MiB of headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Re-fit the bucket width when a dirty bucket about to be sorted
+/// holds more events than this. Dense clusters otherwise degenerate:
+/// every push into the pop bucket re-dirties it and each pop pays a
+/// near-full re-sort.
+const SPLIT_OCCUPANCY: usize = 64;
+
+struct CalendarQueue {
+    /// Ring of buckets; bucket `i` holds events whose time slice `s`
+    /// (`s = time >> shift`) satisfies `s % nb == i` and lies inside the
+    /// current window `[cur_slice, cur_slice + nb)`.
+    ring: Vec<Vec<EventRec>>,
+    /// Per-bucket lazy-sort flag: set on push, cleared after the bucket
+    /// is sorted (descending by key, so `Vec::pop` yields the minimum).
+    dirty: Vec<bool>,
+    /// `log2` of the bucket width in nanoseconds.
+    shift: u32,
+    /// Lowest time slice the ring currently represents. Monotonically
+    /// non-decreasing; pops only advance it past empty buckets, so
+    /// every resident event's slice is `>= cur_slice`.
+    cur_slice: u64,
+    /// Events beyond the ring horizon at push time, redistributed (and
+    /// the geometry re-fitted) whenever the ring drains.
+    overflow: Vec<EventRec>,
+    /// Time (ns) of the earliest overflow event; `u64::MAX` when the
+    /// lane is empty. Ring pushes are gated strictly below this bound.
+    /// Without it the sliding window is unsound: an event parked in
+    /// overflow (beyond the horizon *at its push time*) falls inside the
+    /// window as `cur_slice` advances, and a later push may then land in
+    /// the ring at a later time yet pop first.
+    overflow_min_ns: u64,
+    /// Events resident in the ring.
+    ring_len: usize,
+    /// Total events (ring + overflow).
+    len: usize,
+    /// Allocation/occupancy counters.
+    stats: QueueStats,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue::with_geometry(INITIAL_BUCKETS, INITIAL_SHIFT, 0)
+    }
+
+    fn with_geometry(nb: usize, shift: u32, cur_slice: u64) -> Self {
+        debug_assert!(nb.is_power_of_two());
+        CalendarQueue {
+            ring: (0..nb).map(|_| Vec::new()).collect(),
+            dirty: vec![false; nb],
+            shift,
+            cur_slice,
+            overflow: Vec::new(),
+            overflow_min_ns: u64::MAX,
+            ring_len: 0,
+            len: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slice_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() >> self.shift
+    }
+
+    #[inline]
+    fn push(&mut self, ev: EventRec) {
+        self.stats.pushes += 1;
+        self.len += 1;
+        // Clamp below-window pushes into the current bucket: its full-key
+        // sort still pops them first, preserving pop-min semantics. (The
+        // engines never schedule into the popped past, but the queue must
+        // not corrupt its geometry if a layer above ever does.)
+        let ns = ev.key.time.as_nanos();
+        let s = self.slice_of(ev.key.time).max(self.cur_slice);
+        let nb = self.ring.len();
+        // Ring placement requires being strictly earlier than everything
+        // in the overflow lane (ties included), so the ring minimum is
+        // always the global minimum — see `overflow_min_ns`.
+        if s < self.cur_slice + nb as u64 && ns < self.overflow_min_ns {
+            let b = (s & (nb as u64 - 1)) as usize;
+            let bucket = &mut self.ring[b];
+            if bucket.len() < bucket.capacity() {
+                self.stats.reused += 1;
+            }
+            bucket.push(ev);
+            self.dirty[b] = true;
+            self.stats.bucket_hwm = self.stats.bucket_hwm.max(bucket.len() as u64);
+            self.ring_len += 1;
+            if self.ring_len > nb * GROW_LOAD && nb < MAX_BUCKETS {
+                self.grow();
+            }
+        } else {
+            if self.overflow.len() < self.overflow.capacity() {
+                self.stats.reused += 1;
+            }
+            self.overflow_min_ns = self.overflow_min_ns.min(ns);
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Double the ring and redistribute resident events. Amortized O(1)
+    /// per push; bucket buffers are recycled into the larger ring.
+    fn grow(&mut self) {
+        let nb = (self.ring.len() * 2).min(MAX_BUCKETS);
+        self.rebuild(nb, self.shift);
+    }
+
+    /// Re-fit the ring to `nb` buckets of width `2^shift` and re-insert
+    /// every resident event. Reuses the old buffers where possible.
+    fn rebuild(&mut self, nb: usize, shift: u32) {
+        let mut events: Vec<EventRec> = Vec::with_capacity(self.ring_len + self.overflow.len());
+        for b in &mut self.ring {
+            events.append(b);
+        }
+        events.append(&mut self.overflow);
+        self.overflow_min_ns = u64::MAX;
+        // Anchor the window at the resident minimum. Nothing below it is
+        // pending, and a later push below the window start is clamped
+        // into the current bucket by `push` (the full-key bucket sort
+        // still pops it first), so this floor can never reorder pops.
+        // Anchoring anywhere earlier is the trap: after a split narrows
+        // the slices, a floor carried over from the old geometry can sit
+        // more than `nb` new slices below the minimum, spilling the
+        // entire ring into overflow and ping-ponging with the widening
+        // re-fit in `migrate_overflow`.
+        let min_slice = events
+            .iter()
+            .map(|e| e.key.time.as_nanos() >> shift)
+            .min()
+            .unwrap_or(0);
+        self.shift = shift;
+        self.cur_slice = min_slice;
+        if self.ring.len() != nb {
+            self.ring.resize_with(nb, Vec::new);
+            self.dirty.resize(nb, false);
+        }
+        self.ring_len = 0;
+        let prev_pushes = self.stats.pushes;
+        let prev_reused = self.stats.reused;
+        let prev_len = self.len;
+        self.len = 0;
+        for ev in events {
+            self.push(ev);
+        }
+        // Redistribution is internal bookkeeping, not new traffic.
+        self.stats.pushes = prev_pushes;
+        self.stats.reused = prev_reused;
+        self.len = prev_len;
+    }
+
+    /// Position `cur_slice` at the bucket holding the minimum key and
+    /// sort it if dirty. Returns the bucket index, or `None` when empty.
+    fn settle(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        // The outer loop re-settles after a split re-fits the geometry;
+        // `shift` strictly decreases across splits, bounding it.
+        loop {
+            if self.ring_len == 0 {
+                self.migrate_overflow();
+            }
+            let nb = self.ring.len() as u64;
+            let mut s = self.cur_slice;
+            let b = loop {
+                let b = (s & (nb - 1)) as usize;
+                if !self.ring[b].is_empty() {
+                    break b;
+                }
+                s += 1;
+                debug_assert!(
+                    s < self.cur_slice + nb,
+                    "ring_len > 0 but no non-empty bucket in the window"
+                );
+            };
+            self.cur_slice = s;
+            if self.dirty[b] {
+                if self.try_split(b) {
+                    continue;
+                }
+                // Descending by key: `Vec::pop` then yields the minimum.
+                // Keys are unique, so unstable sorting is deterministic.
+                self.ring[b].sort_unstable_by_key(|x| std::cmp::Reverse(x.key));
+                self.dirty[b] = false;
+            }
+            return Some(b);
+        }
+    }
+
+    /// A dirty bucket about to be sorted is oversized: narrow the bucket
+    /// width so the cluster spreads across many slices, restoring O(1)
+    /// amortized pops under skewed time distributions. Returns whether
+    /// the geometry changed (the caller must re-settle). Identical-time
+    /// floods (span 0) cannot be split and simply sort.
+    fn try_split(&mut self, b: usize) -> bool {
+        let bucket = &self.ring[b];
+        if bucket.len() <= SPLIT_OCCUPANCY || self.shift == 0 {
+            return false;
+        }
+        let mut min_ns = u64::MAX;
+        let mut max_ns = 0u64;
+        for e in bucket {
+            let ns = e.key.time.as_nanos();
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        let span = max_ns - min_ns;
+        if span == 0 {
+            return false;
+        }
+        // Aim for ~4 events per slice at the new width.
+        let target = (bucket.len() / 4).max(1) as u64;
+        let mut shift = self.shift;
+        while shift > 0 && (span >> shift) < target {
+            shift -= 1;
+        }
+        if shift == self.shift {
+            return false;
+        }
+        let nb = self.ring.len();
+        self.rebuild(nb, shift);
+        true
+    }
+
+    /// The ring is empty: jump the window to the earliest overflow event
+    /// and redistribute. Re-fits the bucket width when the overflow span
+    /// dwarfs the window, so sparse far-future schedules don't thrash.
+    fn migrate_overflow(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        let mut min_ns = u64::MAX;
+        let mut max_ns = 0u64;
+        for e in &self.overflow {
+            let ns = e.key.time.as_nanos();
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        let nb = self.ring.len() as u64;
+        let span = max_ns - min_ns;
+        let mut shift = self.shift;
+        // Aim for the whole overflow span inside half the window: the
+        // next migration then only happens after real progress.
+        while shift < 63 && (span >> shift) >= nb / 2 {
+            shift += 1;
+        }
+        if shift != self.shift {
+            self.rebuild(self.ring.len(), shift);
+            return;
+        }
+        self.cur_slice = min_ns >> self.shift;
+        let horizon = self.cur_slice + nb;
+        let mut keep = Vec::with_capacity(self.overflow.len());
+        // Slice-vs-horizon routing keeps the ring/overflow time order:
+        // every ring time is below `horizon << shift`, every kept time at
+        // or above it. Re-derive the gating bound from the kept set.
+        self.overflow_min_ns = u64::MAX;
+        for ev in self.overflow.drain(..) {
+            let ns = ev.key.time.as_nanos();
+            let s = ns >> self.shift;
+            if s < horizon {
+                let b = (s & (nb - 1)) as usize;
+                self.ring[b].push(ev);
+                self.dirty[b] = true;
+                self.ring_len += 1;
+            } else {
+                self.overflow_min_ns = self.overflow_min_ns.min(ns);
+                keep.push(ev);
+            }
+        }
+        // Swap back so the overflow lane keeps (the larger of) its
+        // capacity across migrations.
+        std::mem::swap(&mut self.overflow, &mut keep);
+        if self.overflow.capacity() < keep.capacity() {
+            let mut bigger = keep;
+            bigger.clear();
+            bigger.append(&mut self.overflow);
+            self.overflow = bigger;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<EventRec> {
+        let b = self.settle()?;
+        let ev = self.ring[b].pop();
+        debug_assert!(ev.is_some());
+        self.ring_len -= 1;
+        self.len -= 1;
+        ev
+    }
+
+    #[inline]
+    fn next_key(&mut self) -> Option<EventKey> {
+        let b = self.settle()?;
+        self.ring[b].last().map(|e| e.key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------
+
+enum Inner {
+    Heap(HeapQueue),
+    Calendar(Box<CalendarQueue>),
+}
+
+/// Min-queue of pending events with deterministic tie-breaking.
+pub struct EventQueue {
+    inner: Inner,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue using the `XSIM_ENGINE_QUEUE`-selected
+    /// implementation (calendar by default).
     pub fn new() -> Self {
+        EventQueue::with_impl(QueueImpl::from_env())
+    }
+
+    /// An empty queue with an explicit implementation.
+    pub fn with_impl(imp: QueueImpl) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner: match imp {
+                QueueImpl::Heap => Inner::Heap(HeapQueue::default()),
+                QueueImpl::Calendar => Inner::Calendar(Box::new(CalendarQueue::new())),
+            },
         }
+    }
+
+    /// An empty `BinaryHeap`-backed queue (the determinism oracle).
+    pub fn heap() -> Self {
+        EventQueue::with_impl(QueueImpl::Heap)
+    }
+
+    /// An empty calendar queue.
+    pub fn calendar() -> Self {
+        EventQueue::with_impl(QueueImpl::Calendar)
     }
 
     /// An empty queue with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+        let mut q = EventQueue::new();
+        if let Inner::Heap(h) = &mut q.inner {
+            h.heap.reserve(cap);
+        }
+        q
+    }
+
+    /// Which implementation this queue runs.
+    pub fn impl_kind(&self) -> QueueImpl {
+        match &self.inner {
+            Inner::Heap(_) => QueueImpl::Heap,
+            Inner::Calendar(_) => QueueImpl::Calendar,
+        }
+    }
+
+    /// Allocation/occupancy counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        match &self.inner {
+            Inner::Heap(h) => h.stats,
+            Inner::Calendar(c) => c.stats,
         }
     }
 
     /// Insert an event.
     #[inline]
     pub fn push(&mut self, ev: EventRec) {
-        self.heap.push(HeapEntry(ev));
+        match &mut self.inner {
+            Inner::Heap(h) => h.push(ev),
+            Inner::Calendar(c) => c.push(ev),
+        }
     }
 
     /// Remove and return the earliest event (smallest key).
     #[inline]
     pub fn pop(&mut self) -> Option<EventRec> {
-        self.heap.pop().map(|e| e.0)
+        match &mut self.inner {
+            Inner::Heap(h) => h.pop(),
+            Inner::Calendar(c) => c.pop(),
+        }
     }
 
     /// Remove the earliest event only if it fires strictly before `bound`.
@@ -91,26 +542,32 @@ impl EventQueue {
 
     /// Time of the earliest pending event, if any.
     #[inline]
-    pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.0.key.time)
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.next_key().map(|k| k.time)
     }
 
     /// Key of the earliest pending event, if any.
     #[inline]
-    pub fn next_key(&self) -> Option<EventKey> {
-        self.heap.peek().map(|e| e.0.key)
+    pub fn next_key(&mut self) -> Option<EventKey> {
+        match &mut self.inner {
+            Inner::Heap(h) => h.next_key(),
+            Inner::Calendar(c) => c.next_key(),
+        }
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap(h) => h.len(),
+            Inner::Calendar(c) => c.len,
+        }
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -132,53 +589,60 @@ mod tests {
         }
     }
 
+    fn both() -> [EventQueue; 2] {
+        [EventQueue::heap(), EventQueue::calendar()]
+    }
+
     #[test]
     fn pops_in_key_order() {
-        let mut q = EventQueue::new();
-        q.push(ev(5, 0, 0, 0));
-        q.push(ev(1, 2, 0, 1));
-        q.push(ev(1, 1, 0, 2));
-        q.push(ev(1, 1, 0, 0));
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
-        assert_eq!(order[0].seq, 0);
-        assert_eq!(order[0].dst, Rank(1));
-        assert_eq!(order[1].seq, 2);
-        assert_eq!(order[2].dst, Rank(2));
-        assert_eq!(order[3].time, SimTime(5));
+        for mut q in both() {
+            q.push(ev(5, 0, 0, 0));
+            q.push(ev(1, 2, 0, 1));
+            q.push(ev(1, 1, 0, 2));
+            q.push(ev(1, 1, 0, 0));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+            assert_eq!(order[0].seq, 0);
+            assert_eq!(order[0].dst, Rank(1));
+            assert_eq!(order[1].seq, 2);
+            assert_eq!(order[2].dst, Rank(2));
+            assert_eq!(order[3].time, SimTime(5));
+        }
     }
 
     #[test]
     fn pop_before_respects_bound() {
-        let mut q = EventQueue::new();
-        q.push(ev(10, 0, 0, 0));
-        q.push(ev(3, 0, 0, 1));
-        assert_eq!(q.pop_before(SimTime(5)).unwrap().key.time, SimTime(3));
-        assert!(q.pop_before(SimTime(5)).is_none());
-        assert!(q.pop_before(SimTime(10)).is_none(), "bound is exclusive");
-        assert_eq!(q.pop_before(SimTime(11)).unwrap().key.time, SimTime(10));
-        assert!(q.is_empty());
+        for mut q in both() {
+            q.push(ev(10, 0, 0, 0));
+            q.push(ev(3, 0, 0, 1));
+            assert_eq!(q.pop_before(SimTime(5)).unwrap().key.time, SimTime(3));
+            assert!(q.pop_before(SimTime(5)).is_none());
+            assert!(q.pop_before(SimTime(10)).is_none(), "bound is exclusive");
+            assert_eq!(q.pop_before(SimTime(11)).unwrap().key.time, SimTime(10));
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn colliding_timestamps_order_by_dst_src_seq() {
         // All four events collide at t=9; the pop order must be the
         // lexicographic (dst, src, seq) order regardless of push order.
-        let mut q = EventQueue::new();
-        q.push(ev(9, 1, 0, 4));
-        q.push(ev(9, 0, 1, 7));
-        q.push(ev(9, 0, 0, 2));
-        q.push(ev(9, 1, 0, 3));
-        let order: Vec<_> = std::iter::from_fn(|| q.pop())
-            .map(|e| (e.key.dst.0, e.key.src.0, e.key.seq))
-            .collect();
-        assert_eq!(order, vec![(0, 0, 2), (0, 1, 7), (1, 0, 3), (1, 0, 4)]);
+        for mut q in both() {
+            q.push(ev(9, 1, 0, 4));
+            q.push(ev(9, 0, 1, 7));
+            q.push(ev(9, 0, 0, 2));
+            q.push(ev(9, 1, 0, 3));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop())
+                .map(|e| (e.key.dst.0, e.key.src.0, e.key.seq))
+                .collect();
+            assert_eq!(order, vec![(0, 0, 2), (0, 1, 7), (1, 0, 3), (1, 0, 4)]);
+        }
     }
 
     #[test]
     fn queue_order_is_push_order_independent() {
         // Exchange batching changes insertion order between engines;
         // the pop sequence must not. Try several permutations of the
-        // same colliding-key set.
+        // same colliding-key set, on both implementations.
         let evs = [
             ev(5, 0, 0, 1),
             ev(5, 0, 2, 1),
@@ -186,21 +650,24 @@ mod tests {
             ev(3, 2, 1, 9),
             ev(5, 0, 0, 3),
         ];
-        let reference: Vec<EventKey> = {
-            let mut q = EventQueue::new();
-            for e in &evs {
-                q.push(clone_ev(e));
+        for make in [EventQueue::heap, EventQueue::calendar] {
+            let reference: Vec<EventKey> = {
+                let mut q = make();
+                for e in &evs {
+                    q.push(clone_ev(e));
+                }
+                std::iter::from_fn(|| q.pop()).map(|e| e.key).collect()
+            };
+            let perms: [[usize; 5]; 3] = [[4, 3, 2, 1, 0], [1, 3, 0, 4, 2], [2, 0, 4, 1, 3]];
+            for p in &perms {
+                let mut q = make();
+                for &i in p {
+                    q.push(clone_ev(&evs[i]));
+                }
+                let got: Vec<EventKey> =
+                    std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+                assert_eq!(got, reference, "permutation {p:?} reordered ties");
             }
-            std::iter::from_fn(|| q.pop()).map(|e| e.key).collect()
-        };
-        let perms: [[usize; 5]; 3] = [[4, 3, 2, 1, 0], [1, 3, 0, 4, 2], [2, 0, 4, 1, 3]];
-        for p in &perms {
-            let mut q = EventQueue::new();
-            for &i in p {
-                q.push(clone_ev(&evs[i]));
-            }
-            let got: Vec<EventKey> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
-            assert_eq!(got, reference, "permutation {p:?} reordered ties");
         }
     }
 
@@ -213,11 +680,153 @@ mod tests {
 
     #[test]
     fn next_time_tracks_min() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.next_time(), None);
-        q.push(ev(7, 0, 0, 0));
-        q.push(ev(2, 0, 0, 1));
-        assert_eq!(q.next_time(), Some(SimTime(2)));
-        assert_eq!(q.len(), 2);
+        for mut q in both() {
+            assert_eq!(q.next_time(), None);
+            q.push(ev(7, 0, 0, 0));
+            q.push(ev(2, 0, 0, 1));
+            assert_eq!(q.next_time(), Some(SimTime(2)));
+            assert_eq!(q.len(), 2);
+        }
+    }
+
+    #[test]
+    fn env_selects_implementation() {
+        std::env::set_var("XSIM_ENGINE_QUEUE", "heap");
+        assert_eq!(EventQueue::new().impl_kind(), QueueImpl::Heap);
+        std::env::set_var("XSIM_ENGINE_QUEUE", "calendar");
+        assert_eq!(EventQueue::new().impl_kind(), QueueImpl::Calendar);
+        std::env::remove_var("XSIM_ENGINE_QUEUE");
+        assert_eq!(EventQueue::new().impl_kind(), QueueImpl::Calendar);
+    }
+
+    /// Seeded randomized differential test: interleaved push/pop (with
+    /// heavy timestamp collisions and far-future outliers that force
+    /// overflow migrations, ring growth, and occupancy splits) pops
+    /// byte-identically on both implementations. Runs in stub mode,
+    /// unlike the proptest twin in `tests/prop.rs`.
+    #[test]
+    fn calendar_matches_heap_oracle_seeded() {
+        for seed in [
+            0x9e3779b97f4a7c15u64,
+            0xdeadbeefcafef00d,
+            0x0123456789abcdef,
+            0x2545f4914f6cdd1d,
+        ] {
+            differential_churn(seed, 5_000);
+        }
+    }
+
+    fn differential_churn(seed: u64, ops: usize) {
+        // Deterministic xorshift so the test needs no external RNG.
+        let mut state = seed;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut heap = EventQueue::heap();
+        let mut cal = EventQueue::calendar();
+        let mut seq = 0u64;
+        let mut virt_now = 0u64;
+        for _ in 0..ops {
+            let r = rng();
+            if r % 100 < 60 {
+                // Push: mostly near-future, some colliding, some far.
+                let dt = match r % 10 {
+                    0..=5 => r % 2_000,          // dense near-future
+                    6..=7 => 0,                  // exact-time collision
+                    8 => (r >> 8) % 1_000_000,   // mid-range
+                    _ => (r >> 8) % 4_000_000_000, // far overflow
+                };
+                seq += 1;
+                let e = EventKey {
+                    time: SimTime(virt_now + dt),
+                    dst: Rank((r >> 32) as u32 % 64),
+                    src: Rank((r >> 40) as u32 % 64),
+                    seq,
+                };
+                heap.push(EventRec {
+                    key: e,
+                    action: Action::Spawn,
+                });
+                cal.push(EventRec {
+                    key: e,
+                    action: Action::Spawn,
+                });
+            } else {
+                let a = heap.pop().map(|e| e.key);
+                let b = cal.pop().map(|e| e.key);
+                assert_eq!(a, b, "pop diverged (seed {seed:#x})");
+                if let Some(k) = a {
+                    virt_now = k.time.as_nanos();
+                }
+                assert_eq!(heap.next_time(), cal.next_time());
+            }
+            assert_eq!(heap.len(), cal.len());
+        }
+        loop {
+            let a = heap.pop().map(|e| e.key);
+            let b = cal.pop().map(|e| e.key);
+            assert_eq!(a, b, "drain diverged (seed {seed:#x})");
+            if a.is_none() {
+                break;
+            }
+        }
+        let s = cal.stats();
+        assert!(s.pushes > 0 && s.bucket_hwm > 0);
+        assert!(s.reused > 0, "steady state must reuse bucket capacity");
+    }
+
+    /// A dense same-slice cluster (thousands of events within one
+    /// initial 1 µs bucket) must trigger the occupancy split and still
+    /// pop byte-identically, including under hold-model churn that
+    /// keeps landing in the pop bucket plus a far-future tail that
+    /// exercises the overflow gating against the narrowed window.
+    #[test]
+    fn dense_cluster_splits_and_matches_heap() {
+        let mut heap = EventQueue::heap();
+        let mut cal = EventQueue::calendar();
+        let push = |h: &mut EventQueue, c: &mut EventQueue, t: u64, seq: u64| {
+            let e = ev(t, (seq % 7) as u32, (seq % 5) as u32, seq);
+            h.push(clone_ev(&e));
+            c.push(e);
+        };
+        let mut seq = 0;
+        // 4000 events inside [0, 1024) ns: one initial calendar slice.
+        for i in 0..4_000u64 {
+            push(&mut heap, &mut cal, (i * 37) % 1_024, seq);
+            seq += 1;
+        }
+        // A far tail that must stay behind the cluster in overflow.
+        for i in 0..50u64 {
+            push(&mut heap, &mut cal, 3_000_000_000 + i * 11, seq);
+            seq += 1;
+        }
+        // Hold-model churn: pop the min, push a successor just ahead —
+        // repeatedly re-dirtying the pop bucket.
+        let mut state = 0xabcdef12345678u64;
+        for _ in 0..6_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let a = heap.pop().map(|e| e.key);
+            let b = cal.pop().map(|e| e.key);
+            assert_eq!(a, b, "cluster pop diverged");
+            let t = a.unwrap().time.as_nanos() + 1 + state % 64;
+            push(&mut heap, &mut cal, t, seq);
+            seq += 1;
+        }
+        loop {
+            let a = heap.pop().map(|e| e.key);
+            let b = cal.pop().map(|e| e.key);
+            assert_eq!(a, b, "cluster drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        // Sanity-check the trigger precondition: the cluster really did
+        // stack one bucket far above the split threshold.
+        assert!(cal.stats().bucket_hwm > SPLIT_OCCUPANCY as u64);
     }
 }

@@ -94,6 +94,24 @@ pub struct EngineProfile {
     pub batched_events: u64,
     /// Largest single (src,dst) exchange batch observed.
     pub batch_max_events: u64,
+    /// Windows whose ingest phase (and its barrier) was skipped because
+    /// the previous window exchanged no cross-shard events.
+    pub ingest_skips: u64,
+    /// Largest number of stolen shard-tasks any single worker executed
+    /// in one window (burstiness of the work-stealing pool).
+    pub window_steal_hwm: u64,
+    /// Longest single barrier wait by any worker, in nanoseconds.
+    pub window_barrier_hwm_ns: u64,
+    /// Events pushed into the pending-event queues (all shards).
+    /// Filled from [`crate::queue::QueueStats`] at report assembly.
+    pub pool_pushes: u64,
+    /// Pushes served from already-reserved queue capacity — no
+    /// allocation. `pool_reused / pool_pushes` is the steady-state
+    /// pool reuse ratio.
+    pub pool_reused: u64,
+    /// Largest number of events resident in a single calendar-queue
+    /// bucket across all shards (0 under the heap oracle).
+    pub queue_bucket_hwm: u64,
 }
 
 impl EngineProfile {
@@ -106,6 +124,22 @@ impl EngineProfile {
         self.barrier_wait_ns += other.barrier_wait_ns;
         self.batched_events += other.batched_events;
         self.batch_max_events = self.batch_max_events.max(other.batch_max_events);
+        self.ingest_skips = self.ingest_skips.max(other.ingest_skips);
+        self.window_steal_hwm = self.window_steal_hwm.max(other.window_steal_hwm);
+        self.window_barrier_hwm_ns = self.window_barrier_hwm_ns.max(other.window_barrier_hwm_ns);
+        self.pool_pushes += other.pool_pushes;
+        self.pool_reused += other.pool_reused;
+        self.queue_bucket_hwm = self.queue_bucket_hwm.max(other.queue_bucket_hwm);
+    }
+
+    /// Fraction of queue pushes served without allocating (0.0 when no
+    /// events were pushed).
+    pub fn pool_reuse_ratio(&self) -> f64 {
+        if self.pool_pushes == 0 {
+            0.0
+        } else {
+            self.pool_reused as f64 / self.pool_pushes as f64
+        }
     }
 }
 
@@ -198,8 +232,8 @@ impl SimReport {
             }
         ) + &if self.profile.windows > 0 {
             format!(
-                "; {} window(s), {} steal(s)",
-                self.profile.windows, self.profile.steals
+                "; {} window(s) ({} ingest-skipped), {} steal(s)",
+                self.profile.windows, self.profile.ingest_skips, self.profile.steals
             )
         } else {
             String::new()
@@ -236,6 +270,12 @@ mod tests {
             barrier_wait_ns: 100,
             batched_events: 7,
             batch_max_events: 4,
+            ingest_skips: 3,
+            window_steal_hwm: 2,
+            window_barrier_hwm_ns: 40,
+            pool_pushes: 100,
+            pool_reused: 90,
+            queue_bucket_hwm: 5,
         };
         let b = EngineProfile {
             windows: 10,
@@ -243,6 +283,12 @@ mod tests {
             barrier_wait_ns: 50,
             batched_events: 3,
             batch_max_events: 6,
+            ingest_skips: 3,
+            window_steal_hwm: 1,
+            window_barrier_hwm_ns: 70,
+            pool_pushes: 50,
+            pool_reused: 10,
+            queue_bucket_hwm: 9,
         };
         a.merge(&b);
         assert_eq!(a.windows, 10); // same global window sequence: max
@@ -250,6 +296,13 @@ mod tests {
         assert_eq!(a.barrier_wait_ns, 150);
         assert_eq!(a.batched_events, 10);
         assert_eq!(a.batch_max_events, 6);
+        assert_eq!(a.ingest_skips, 3); // same global sequence: max
+        assert_eq!(a.window_steal_hwm, 2);
+        assert_eq!(a.window_barrier_hwm_ns, 70);
+        assert_eq!(a.pool_pushes, 150);
+        assert_eq!(a.pool_reused, 100);
+        assert_eq!(a.queue_bucket_hwm, 9);
+        assert!((a.pool_reuse_ratio() - 100.0 / 150.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,13 +2,34 @@
 //!
 //! A VP is the simulated counterpart of one MPI process: a coroutine with
 //! its own virtual clock, suspended whenever it performs a simulator call
-//! (paper §IV-A). The kernel owns the VP table and drives each VP's future.
+//! (paper §IV-A). The kernel owns a [`VpTable`] and drives each VP's
+//! future.
+//!
+//! ## Data-oriented layout
+//!
+//! Per-VP state lives in parallel SoA `Vec`s indexed by *local* VP index
+//! (`rank − shard base`), not in an array of structs behind options:
+//!
+//! * the hot wake/dispatch fields (clock, run state, wait class/token,
+//!   pending-wake flag) each occupy their own dense array, so the
+//!   kernel's wake checks and the engines' end-of-run scans touch a few
+//!   contiguous cache lines per shard instead of striding over
+//!   pointer-sized `Option<Vp>` slots sized to the *whole* machine;
+//! * cold fields (the coroutine itself, termination, diagnostics) sit in
+//!   separate arrays so they never pollute the hot lines;
+//! * each shard's table is sized to the ranks it owns — per-shard memory
+//!   is O(owned), not O(n_ranks), which is what lets a 32-shard run hold
+//!   a million VPs without 32 copies of a million-slot table.
+//!
+//! Code outside the kernel goes through the [`VpRef`]/[`VpMut`] handles
+//! returned by `Kernel::vp` / `Kernel::vp_mut`.
 
 use crate::error::Termination;
 use crate::rank::Rank;
 use crate::time::SimTime;
 use std::fmt;
 use std::future::Future;
+use std::ops::Range;
 use std::pin::Pin;
 
 /// The outcome a VP program reports when it returns.
@@ -95,98 +116,337 @@ pub enum VpState {
     Done,
 }
 
-/// Per-VP bookkeeping. The future itself lives in an `Option` so the
-/// kernel can move it out while polling (avoiding aliasing the VP table)
-/// and drop it to force-terminate the VP.
-pub struct Vp {
-    /// This VP's rank.
-    pub rank: Rank,
-    /// The VP's virtual clock. Advances only at simulator calls.
-    pub clock: SimTime,
-    /// Scheduling state.
-    pub state: VpState,
-    /// The coroutine, while alive and not being polled.
-    pub future: Option<VpFuture>,
-    /// What the VP is blocked on (valid when `state == Blocked`).
-    pub wait_class: WaitClass,
-    /// Token of the current wait; incremented by every `begin_wait`.
-    pub wait_token: WaitToken,
-    /// Set by the kernel when a wakeup was delivered; cleared by the
-    /// blocking future when it observes it.
-    pub woken: bool,
-    /// Human-readable description of the current wait, for deadlock
-    /// diagnostics (static to keep the hot path allocation-free).
-    pub wait_desc: &'static str,
-    /// Scheduled (earliest) time of failure, if an injection targets this
+/// SoA table of the VPs one shard owns, indexed by `rank − base`.
+pub struct VpTable {
+    /// Ranks this table covers (`base..base+len`).
+    owned: Range<usize>,
+    // --- hot: touched on every wake check / dispatch ---
+    /// Virtual clocks. Advance only at simulator calls.
+    clock: Vec<SimTime>,
+    /// Scheduling states.
+    state: Vec<VpState>,
+    /// What each VP is blocked on (valid when `Blocked`).
+    wait_class: Vec<WaitClass>,
+    /// Token of the current wait; bumped by every `begin_wait`.
+    wait_token: Vec<WaitToken>,
+    /// Pending-wake flags: set by the kernel when a wakeup was delivered,
+    /// cleared by the blocking future when it observes it.
+    woken: Vec<bool>,
+    // --- warm: failure/abort activation checks on resume ---
+    /// Scheduled (earliest) time of failure, if an injection targets the
     /// VP. `None` = "fail never" (the paper encodes this as time 0).
-    pub time_of_failure: Option<SimTime>,
-    /// Earliest time at which this VP must observe a propagated abort.
-    pub abort_at: Option<SimTime>,
-    /// How the VP terminated (valid when `state == Done`).
-    pub termination: Option<Termination>,
-    /// Number of times this VP was resumed (context switches in).
-    pub resumes: u64,
+    time_of_failure: Vec<Option<SimTime>>,
+    /// Earliest time at which the VP must observe a propagated abort.
+    abort_at: Vec<Option<SimTime>>,
+    // --- cold: diagnostics, teardown, the coroutines themselves ---
+    /// Human-readable wait descriptions for deadlock diagnostics
+    /// (static to keep the hot path allocation-free).
+    wait_desc: Vec<&'static str>,
+    /// How each VP terminated (valid when `Done`).
+    termination: Vec<Option<Termination>>,
+    /// Context-switch-in counts.
+    resumes: Vec<u64>,
+    /// The coroutines, while alive and not being polled. `Option` so the
+    /// kernel can move one out while polling (avoiding aliasing the
+    /// table) and drop it to force-terminate the VP.
+    futures: Vec<Option<VpFuture>>,
 }
 
-impl Vp {
-    /// A fresh VP with its clock at `start`.
-    pub fn new(rank: Rank, start: SimTime) -> Self {
-        Vp {
-            rank,
-            clock: start,
-            state: VpState::Fresh,
-            future: None,
-            wait_class: WaitClass::Message,
-            wait_token: WaitToken(0),
-            woken: false,
-            wait_desc: "",
-            time_of_failure: None,
-            abort_at: None,
-            termination: None,
-            resumes: 0,
+impl VpTable {
+    /// A table of fresh VPs for `owned`, clocks at `start`.
+    pub fn new(owned: Range<usize>, start: SimTime) -> Self {
+        let n = owned.len();
+        VpTable {
+            owned,
+            clock: vec![start; n],
+            state: vec![VpState::Fresh; n],
+            wait_class: vec![WaitClass::Message; n],
+            wait_token: vec![WaitToken(0); n],
+            woken: vec![false; n],
+            time_of_failure: vec![None; n],
+            abort_at: vec![None; n],
+            wait_desc: vec![""; n],
+            termination: vec![None; n],
+            resumes: vec![0; n],
+            futures: (0..n).map(|_| None).collect(),
         }
     }
 
-    /// Whether the VP has terminated (finished, failed, or aborted).
-    #[inline]
-    pub fn is_done(&self) -> bool {
-        self.state == VpState::Done
+    /// The ranks this table covers.
+    pub fn owned_ranks(&self) -> Range<usize> {
+        self.owned.clone()
     }
 
-    /// Whether the VP terminated by injected failure.
+    /// Number of VPs in the table.
+    pub fn len(&self) -> usize {
+        self.clock.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clock.is_empty()
+    }
+
+    /// Whether `rank` is in the table.
     #[inline]
-    pub fn is_failed(&self) -> bool {
-        matches!(self.termination, Some(Termination::Failed(_)))
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.owned.contains(&rank.idx())
+    }
+
+    /// Shared handle to an owned VP. Panics if `rank` is foreign.
+    #[inline]
+    pub fn get(&self, rank: Rank) -> VpRef<'_> {
+        assert!(self.contains(rank), "VP not owned by this shard");
+        VpRef {
+            t: self,
+            i: rank.idx() - self.owned.start,
+        }
+    }
+
+    /// Mutable handle to an owned VP. Panics if `rank` is foreign.
+    #[inline]
+    pub fn get_mut(&mut self, rank: Rank) -> VpMut<'_> {
+        assert!(self.contains(rank), "VP not owned by this shard");
+        let i = rank.idx() - self.owned.start;
+        VpMut { t: self, i }
+    }
+
+    /// Iterate `(rank, handle)` over every VP in the table.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, VpRef<'_>)> {
+        self.owned
+            .clone()
+            .map(move |r| (Rank::new(r), VpRef { t: self, i: r - self.owned.start }))
+    }
+}
+
+// `Debug` for the table prints occupancy, not a million rows.
+impl fmt::Debug for VpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VpTable")
+            .field("owned", &self.owned)
+            .field(
+                "done",
+                &self.state.iter().filter(|s| **s == VpState::Done).count(),
+            )
+            .finish()
+    }
+}
+
+/// Shared view of one VP in a [`VpTable`].
+#[derive(Clone, Copy)]
+pub struct VpRef<'a> {
+    t: &'a VpTable,
+    i: usize,
+}
+
+macro_rules! vp_read_api {
+    ($table:ident) => {
+        /// This VP's rank.
+        #[inline]
+        pub fn rank(&self) -> Rank {
+            Rank::new(self.$table.owned.start + self.i)
+        }
+
+        /// The VP's virtual clock. Advances only at simulator calls.
+        #[inline]
+        pub fn clock(&self) -> SimTime {
+            self.$table.clock[self.i]
+        }
+
+        /// Scheduling state.
+        #[inline]
+        pub fn state(&self) -> VpState {
+            self.$table.state[self.i]
+        }
+
+        /// What the VP is blocked on (valid when [`VpState::Blocked`]).
+        #[inline]
+        pub fn wait_class(&self) -> WaitClass {
+            self.$table.wait_class[self.i]
+        }
+
+        /// Token of the current wait.
+        #[inline]
+        pub fn wait_token(&self) -> WaitToken {
+            self.$table.wait_token[self.i]
+        }
+
+        /// Description of the current wait, for diagnostics.
+        #[inline]
+        pub fn wait_desc(&self) -> &'static str {
+            self.$table.wait_desc[self.i]
+        }
+
+        /// Scheduled (earliest) time of failure, if any.
+        #[inline]
+        pub fn time_of_failure(&self) -> Option<SimTime> {
+            self.$table.time_of_failure[self.i]
+        }
+
+        /// Earliest propagated-abort activation time, if any.
+        #[inline]
+        pub fn abort_at(&self) -> Option<SimTime> {
+            self.$table.abort_at[self.i]
+        }
+
+        /// How the VP terminated (valid when [`VpState::Done`]).
+        #[inline]
+        pub fn termination(&self) -> Option<Termination> {
+            self.$table.termination[self.i]
+        }
+
+        /// Number of times this VP was resumed (context switches in).
+        #[inline]
+        pub fn resumes(&self) -> u64 {
+            self.$table.resumes[self.i]
+        }
+
+        /// Whether the VP has terminated (finished, failed, or aborted).
+        #[inline]
+        pub fn is_done(&self) -> bool {
+            self.$table.state[self.i] == VpState::Done
+        }
+
+        /// Whether the VP terminated by injected failure.
+        #[inline]
+        pub fn is_failed(&self) -> bool {
+            matches!(
+                self.$table.termination[self.i],
+                Some(Termination::Failed(_))
+            )
+        }
+    };
+}
+
+impl VpRef<'_> {
+    vp_read_api!(t);
+}
+
+/// Mutable view of one VP in a [`VpTable`].
+pub struct VpMut<'a> {
+    t: &'a mut VpTable,
+    i: usize,
+}
+
+impl VpMut<'_> {
+    vp_read_api!(t);
+
+    /// Set the scheduling state.
+    #[inline]
+    pub fn set_state(&mut self, s: VpState) {
+        self.t.state[self.i] = s;
+    }
+
+    /// Advance the clock to at least `time` (clocks never move backward).
+    #[inline]
+    pub fn advance_clock(&mut self, time: SimTime) -> SimTime {
+        let c = &mut self.t.clock[self.i];
+        *c = (*c).max(time);
+        *c
     }
 
     /// Begin a new wait: bump the token, record the class and description.
     /// Returns the token the wakeup must carry.
     pub fn begin_wait(&mut self, class: WaitClass, desc: &'static str) -> WaitToken {
-        debug_assert_eq!(self.state, VpState::Running);
-        self.wait_token = WaitToken(self.wait_token.0 + 1);
-        self.wait_class = class;
-        self.wait_desc = desc;
-        self.woken = false;
-        self.state = VpState::Blocked;
-        self.wait_token
+        debug_assert_eq!(self.t.state[self.i], VpState::Running);
+        let tok = WaitToken(self.t.wait_token[self.i].0 + 1);
+        self.t.wait_token[self.i] = tok;
+        self.t.wait_class[self.i] = class;
+        self.t.wait_desc[self.i] = desc;
+        self.t.woken[self.i] = false;
+        self.t.state[self.i] = VpState::Blocked;
+        tok
+    }
+
+    /// Re-enter a wait under an *existing* token after a spurious wake,
+    /// keeping the already-scheduled wake event valid. Used by `sleep`
+    /// and the file-system layer when an upper layer released the wait
+    /// early.
+    pub fn rearm_wait(&mut self, class: WaitClass, desc: &'static str, token: WaitToken) {
+        self.t.wait_token[self.i] = token;
+        self.t.wait_class[self.i] = class;
+        self.t.wait_desc[self.i] = desc;
+        self.t.woken[self.i] = false;
+        self.t.state[self.i] = VpState::Blocked;
+    }
+
+    /// Deliver a wakeup: mark runnable with the pending-wake flag set.
+    #[inline]
+    pub fn deliver_wake(&mut self) {
+        self.t.state[self.i] = VpState::Runnable;
+        self.t.woken[self.i] = true;
     }
 
     /// Consume a delivered wakeup, if any. Called by blocking futures on
     /// re-poll.
+    #[inline]
     pub fn take_woken(&mut self) -> bool {
-        std::mem::take(&mut self.woken)
+        std::mem::take(&mut self.t.woken[self.i])
+    }
+
+    /// Set the scheduled time of failure.
+    #[inline]
+    pub fn set_time_of_failure(&mut self, tof: SimTime) {
+        self.t.time_of_failure[self.i] = Some(tof);
+    }
+
+    /// Min-merge a propagated-abort activation time.
+    #[inline]
+    pub fn note_abort_at(&mut self, time: SimTime) {
+        let slot = &mut self.t.abort_at[self.i];
+        *slot = Some(match *slot {
+            Some(existing) => existing.min(time),
+            None => time,
+        });
+    }
+
+    /// Record how the VP terminated.
+    #[inline]
+    pub fn set_termination(&mut self, term: Termination) {
+        self.t.termination[self.i] = Some(term);
+    }
+
+    /// Count a context switch in.
+    #[inline]
+    pub fn bump_resumes(&mut self) {
+        self.t.resumes[self.i] += 1;
+    }
+
+    /// Move the coroutine out for polling (or teardown).
+    #[inline]
+    pub fn take_future(&mut self) -> Option<VpFuture> {
+        self.t.futures[self.i].take()
+    }
+
+    /// Put the coroutine back after a `Pending` poll (or install it at
+    /// spawn).
+    #[inline]
+    pub fn put_future(&mut self, fut: VpFuture) {
+        self.t.futures[self.i] = Some(fut);
+    }
+
+    /// Drop the coroutine (force-terminate).
+    #[inline]
+    pub fn drop_future(&mut self) {
+        self.t.futures[self.i] = None;
     }
 }
 
-impl fmt::Debug for Vp {
+impl fmt::Debug for VpRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Vp")
-            .field("rank", &self.rank)
-            .field("clock", &self.clock)
-            .field("state", &self.state)
-            .field("wait", &self.wait_desc)
-            .field("tof", &self.time_of_failure)
+            .field("rank", &self.rank())
+            .field("clock", &self.clock())
+            .field("state", &self.state())
+            .field("wait", &self.wait_desc())
+            .field("tof", &self.time_of_failure())
             .finish()
+    }
+}
+
+impl fmt::Debug for VpMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        VpRef { t: self.t, i: self.i }.fmt(f)
     }
 }
 
@@ -194,23 +454,69 @@ impl fmt::Debug for Vp {
 mod tests {
     use super::*;
 
+    fn table() -> VpTable {
+        VpTable::new(4..8, SimTime::ZERO)
+    }
+
+    #[test]
+    fn dense_indexing_offsets_by_base() {
+        let mut t = table();
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(Rank(4)) && t.contains(Rank(7)));
+        assert!(!t.contains(Rank(3)) && !t.contains(Rank(8)));
+        assert_eq!(t.get(Rank(5)).rank(), Rank(5));
+        t.get_mut(Rank(6)).advance_clock(SimTime(9));
+        assert_eq!(t.get(Rank(6)).clock(), SimTime(9));
+        assert_eq!(t.get(Rank(5)).clock(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn foreign_rank_panics() {
+        table().get(Rank(0));
+    }
+
     #[test]
     fn begin_wait_bumps_token_and_blocks() {
-        let mut vp = Vp::new(Rank(0), SimTime::ZERO);
-        vp.state = VpState::Running;
+        let mut t = table();
+        let mut vp = t.get_mut(Rank(4));
+        vp.set_state(VpState::Running);
         let t1 = vp.begin_wait(WaitClass::Compute, "compute");
-        assert_eq!(vp.state, VpState::Blocked);
-        assert_eq!(vp.wait_desc, "compute");
-        vp.state = VpState::Running;
+        assert_eq!(vp.state(), VpState::Blocked);
+        assert_eq!(vp.wait_desc(), "compute");
+        vp.set_state(VpState::Running);
         let t2 = vp.begin_wait(WaitClass::Message, "recv");
         assert_ne!(t1, t2);
     }
 
     #[test]
+    fn rearm_wait_keeps_token_valid() {
+        let mut t = table();
+        let mut vp = t.get_mut(Rank(4));
+        vp.set_state(VpState::Running);
+        let tok = vp.begin_wait(WaitClass::Compute, "compute");
+        vp.deliver_wake();
+        assert!(vp.take_woken());
+        vp.rearm_wait(WaitClass::Compute, "compute", tok);
+        assert_eq!(vp.state(), VpState::Blocked);
+        assert_eq!(vp.wait_token(), tok);
+        assert!(!vp.take_woken());
+    }
+
+    #[test]
     fn take_woken_is_one_shot() {
-        let mut vp = Vp::new(Rank(0), SimTime::ZERO);
-        vp.woken = true;
+        let mut t = table();
+        let mut vp = t.get_mut(Rank(4));
+        vp.deliver_wake();
         assert!(vp.take_woken());
         assert!(!vp.take_woken());
+    }
+
+    #[test]
+    fn clocks_never_move_backward() {
+        let mut t = table();
+        let mut vp = t.get_mut(Rank(7));
+        vp.advance_clock(SimTime(50));
+        assert_eq!(vp.advance_clock(SimTime(10)), SimTime(50));
     }
 }

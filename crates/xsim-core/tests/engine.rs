@@ -66,7 +66,7 @@ fn relay_program(n: usize) -> impl Fn(Rank) -> VpFuture + Send + Sync {
             let hop = SimTime::from_micros(5);
             if rank.idx() == 0 {
                 ctx::with_kernel(|k, r| {
-                    let t = k.vp(r).clock + hop;
+                    let t = k.vp(r).clock() + hop;
                     k.schedule_at(t, Rank::new(1), Action::WakeMessage);
                 });
             } else {
@@ -74,7 +74,7 @@ fn relay_program(n: usize) -> impl Fn(Rank) -> VpFuture + Send + Sync {
                 if rank.idx() + 1 < n {
                     let next = Rank::new(rank.idx() + 1);
                     ctx::with_kernel(|k, r| {
-                        let t = k.vp(r).clock + hop;
+                        let t = k.vp(r).clock() + hop;
                         k.schedule_at(t, next, Action::WakeMessage);
                     });
                 }
@@ -150,9 +150,9 @@ fn collide_program(log: Arc<Mutex<Vec<u64>>>) -> impl Fn(Rank) -> VpFuture + Sen
                         k.schedule_at(
                             SimTime::from_millis(1),
                             Rank::new(0),
-                            Action::Call(Box::new(move |_k: &mut Kernel| {
+                            Action::call(move |_k: &mut Kernel| {
                                 log.lock().unwrap().push(r);
-                            })),
+                            }),
                         );
                     });
                 }
@@ -497,7 +497,7 @@ fn arm_wait_and_prearmed_block_round_trip() {
         Box::pin(async move {
             let token = ctx::arm_wait(WaitClass::Compute, "two-phase");
             ctx::with_kernel(|k, me| {
-                let at = k.vp(me).clock + SimTime::from_millis(7);
+                let at = k.vp(me).clock() + SimTime::from_millis(7);
                 k.schedule_at(at, me, Action::WakeToken(token));
             });
             let woke_at = ctx::block_prearmed(token).await;
@@ -521,8 +521,7 @@ fn stale_wake_tokens_are_ignored() {
                 k.schedule_at(SimTime::from_millis(1), me, Action::WakeToken(stale));
                 // Un-block manually so we can continue (the test then
                 // enters a real sleep whose token differs).
-                let vp = k.vp_mut(me);
-                vp.state = xsim_core::vp::VpState::Running;
+                k.vp_mut(me).set_state(xsim_core::vp::VpState::Running);
             });
             ctx::sleep(SimTime::from_millis(10)).await;
             // The stale wake at t=1ms must not have ended the 10ms sleep.

@@ -69,7 +69,7 @@ impl SoftErrorPlan {
                 k.schedule_at(
                     flip.at,
                     rank,
-                    Action::Call(Box::new(move |k: &mut Kernel| {
+                    Action::call(move |k: &mut Kernel| {
                         if k.vp(rank).is_done() {
                             return;
                         }
@@ -79,7 +79,7 @@ impl SoftErrorPlan {
                             .entry(rank)
                             .or_default()
                             .push(flip);
-                    })),
+                    }),
                 );
             }
         }

@@ -355,7 +355,7 @@ pub async fn write(name: &str, data: Bytes) -> Result<(), FsError> {
         let svc = k.service::<FsService>();
         let cost = svc.model.write_time(data.len());
         let store = svc.store.clone();
-        let t0 = obs::enabled(k).then(|| k.vp(rank).clock);
+        let t0 = obs::enabled(k).then(|| k.vp(rank).clock());
         if let Err(e) = store.check_fault(name, IoFaultKind::Write, rank) {
             obs::record(k, ids::FS_FAULTS_INJECTED, 1);
             return Err(e);
@@ -388,7 +388,7 @@ pub async fn read(name: &str) -> Result<FileState, FsError> {
         let svc = k.service::<FsService>();
         let store = svc.store.clone();
         let model = svc.model;
-        let t0 = obs::enabled(k).then(|| k.vp(rank).clock);
+        let t0 = obs::enabled(k).then(|| k.vp(rank).clock());
         if let Err(e) = store.check_fault(name, IoFaultKind::Read, rank) {
             obs::record(k, ids::FS_FAULTS_INJECTED, 1);
             return Err(e);
@@ -439,7 +439,7 @@ pub async fn delete(name: &str) -> Result<bool, FsError> {
 pub async fn charge_write(bytes: usize) {
     let (cost, t0) = ctx::with_kernel(|k, rank| {
         let cost = k.service::<FsService>().model.write_time(bytes);
-        (cost, obs::enabled(k).then(|| k.vp(rank).clock))
+        (cost, obs::enabled(k).then(|| k.vp(rank).clock()))
     });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
@@ -458,7 +458,7 @@ pub async fn charge_write(bytes: usize) {
 pub async fn charge_read(bytes: usize) {
     let (cost, t0) = ctx::with_kernel(|k, rank| {
         let cost = k.service::<FsService>().model.read_time(bytes);
-        (cost, obs::enabled(k).then(|| k.vp(rank).clock))
+        (cost, obs::enabled(k).then(|| k.vp(rank).clock()))
     });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
@@ -498,7 +498,7 @@ fn note_io(
 ) {
     let Some(t0) = t0 else { return };
     ctx::with_kernel(|k, rank| {
-        let t1 = k.vp(rank).clock;
+        let t1 = k.vp(rank).clock();
         obs::record(k, n_id, 1);
         obs::record(k, bytes_id, nbytes);
         obs::record(k, ns_id, (t1 - t0).as_nanos());
@@ -520,7 +520,7 @@ fn note_io(
 /// distinguish I/O-blocked VPs from computing ones.
 async fn fs_sleep(d: SimTime) {
     let (deadline, token) = ctx::with_kernel(|k, rank| {
-        let deadline = k.vp(rank).clock + d;
+        let deadline = k.vp(rank).clock() + d;
         let token = k.vp_mut(rank).begin_wait(WaitClass::FileIo, "file I/O");
         k.schedule_at(deadline, rank, xsim_core::event::Action::WakeToken(token));
         (deadline, token)
@@ -531,10 +531,9 @@ async fn fs_sleep(d: SimTime) {
             return;
         }
         ctx::with_kernel(|k, rank| {
-            let vp = k.vp_mut(rank);
-            vp.state = xsim_core::vp::VpState::Running;
-            vp.begin_wait(WaitClass::FileIo, "file I/O");
-            vp.wait_token = token;
+            // Re-block on the same token: the scheduled wake stays valid.
+            k.vp_mut(rank)
+                .rearm_wait(WaitClass::FileIo, "file I/O", token);
         });
     }
 }

@@ -19,7 +19,7 @@ use xsim_core::{ctx, Kernel, Rank, SimTime};
 /// abort time.
 pub fn initiate_abort_here() -> MpiError {
     ctx::with_kernel(|k, me| {
-        let now = k.vp(me).clock;
+        let now = k.vp(me).clock();
         with_mpi(k, |k, svc| {
             let n = svc.world.n_ranks;
             let delay = svc.world.notify_delay;
@@ -42,9 +42,9 @@ pub fn initiate_abort_here() -> MpiError {
                 k.schedule_at(
                     now + delay,
                     target,
-                    Action::Call(Box::new(move |k: &mut Kernel| {
+                    Action::call(move |k: &mut Kernel| {
                         abort_notice(k, target, now);
-                    })),
+                    }),
                 );
             }
             MpiError::Aborted { time: now }

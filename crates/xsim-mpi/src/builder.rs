@@ -549,6 +549,17 @@ impl SimBuilder {
             m.set
                 .add(metric_ids::ENGINE_BATCHED_EVENTS, p.batched_events);
             m.set.add(metric_ids::ENGINE_BATCH_MAX, p.batch_max_events);
+            m.set.add(metric_ids::ENGINE_INGEST_SKIPS, p.ingest_skips);
+            m.set
+                .add(metric_ids::ENGINE_STEAL_HWM, p.window_steal_hwm);
+            m.set
+                .add(metric_ids::ENGINE_BARRIER_HWM_NS, p.window_barrier_hwm_ns);
+            m.set.add(
+                metric_ids::ENGINE_POOL_REUSE_RATIO,
+                (p.pool_reuse_ratio() * 1000.0) as u64,
+            );
+            m.set
+                .add(metric_ids::ENGINE_QUEUE_BUCKET_HWM, p.queue_bucket_hwm);
             // Route-cache effectiveness, read back from the shared fault
             // table. Volatile: shards can race to fill the same entry,
             // so the counts (not the routes) vary with scheduling.

@@ -96,7 +96,7 @@ pub(crate) async fn isend_ex(
 ) -> Result<ReqId, MpiError> {
     let (req, overhead) = ctx::with_kernel(|k, me| {
         with_mpi(k, |k, svc| {
-            let now = k.vp(me).clock;
+            let now = k.vp(me).clock();
             let rm = svc.rank(me);
             entry_checks_ex(rm, comm, allow_revoked)?;
             let view = rm.comms.view(comm).expect("checked");
@@ -246,7 +246,7 @@ pub(crate) async fn isend_ex(
             k.schedule_at(
                 header_arrival,
                 dst_world,
-                Action::Call(Box::new(move |k: &mut Kernel| deliver(k, dst_world, env))),
+                Action::call(move |k: &mut Kernel| deliver(k, dst_world, env)),
             );
             if timing.eager {
                 // Eager sends complete locally once injected.
@@ -279,7 +279,7 @@ pub(crate) fn irecv_ex(
 ) -> Result<ReqId, MpiError> {
     ctx::with_kernel(|k, me| {
         with_mpi(k, |k, svc| {
-            let now = k.vp(me).clock;
+            let now = k.vp(me).clock();
             let rm = svc.rank(me);
             entry_checks_ex(rm, comm, allow_revoked)?;
             let view = rm.comms.view(comm).expect("checked");
@@ -417,17 +417,17 @@ fn complete_match(
     k.schedule_at(
         recv_at,
         dst,
-        Action::Call(Box::new(move |k: &mut Kernel| {
+        Action::call(move |k: &mut Kernel| {
             finish_request(k, dst, req, recv_at, Ok(Some(out)));
-        })),
+        }),
     );
     if let Some(((src, sreq), at)) = send_finish {
         k.schedule_at(
             at,
             src,
-            Action::Call(Box::new(move |k: &mut Kernel| {
+            Action::call(move |k: &mut Kernel| {
                 finish_request(k, src, ReqId(sreq), at, Ok(None));
-            })),
+            }),
         );
     }
 }
@@ -459,7 +459,7 @@ enum WaitStep {
 
 fn poll_request(req: ReqId) -> WaitStep {
     ctx::with_kernel(|k, me| {
-        let now = k.vp(me).clock;
+        let now = k.vp(me).clock();
         let svc = k.service_mut::<MpiService>();
         let rm = svc.rank_mut(me);
         if let Some(t) = rm.aborted {

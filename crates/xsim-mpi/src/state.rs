@@ -433,9 +433,9 @@ pub fn install_failure_hook(k: &mut Kernel) {
             k.schedule_at(
                 when,
                 target,
-                Action::Call(Box::new(move |k: &mut Kernel| {
+                Action::call(move |k: &mut Kernel| {
                     on_failure_notice(k, target, dead, tof);
-                })),
+                }),
             );
         }
     }));
@@ -482,11 +482,11 @@ pub fn escalate_unreachable(k: &mut Kernel, peer: Rank, tof: SimTime) {
     k.schedule_at(
         tof,
         peer,
-        Action::Call(Box::new(move |k: &mut Kernel| {
+        Action::call(move |k: &mut Kernel| {
             if !k.vp(peer).is_done() {
                 k.kill_failed(peer, tof, tof);
             }
-        })),
+        }),
     );
 }
 
@@ -504,7 +504,7 @@ pub fn schedule_request_failure(
     k.schedule_at(
         at,
         me,
-        Action::Call(Box::new(move |k: &mut Kernel| {
+        Action::call(move |k: &mut Kernel| {
             if k.vp(me).is_done() {
                 return;
             }
@@ -532,7 +532,7 @@ pub fn schedule_request_failure(
                 xsim_obs::service::record(k, xsim_obs::ids::NET_TIMEOUT_DETECTIONS, 1);
                 k.wake_if_message_blocked(me, at);
             }
-        })),
+        }),
     );
 }
 

@@ -30,7 +30,7 @@ const SHRINK_TAG: u32 = COLL_TAG_BASE + (1 << 29);
 pub fn comm_revoke(comm: CommId) -> Result<(), MpiError> {
     ctx::with_kernel(|k, me| {
         with_mpi(k, |k, svc| {
-            let now = k.vp(me).clock;
+            let now = k.vp(me).clock();
             let delay = svc.world.notify_delay;
             let rm = svc.rank_mut(me);
             if let Some(t) = rm.aborted {
@@ -51,7 +51,7 @@ pub fn comm_revoke(comm: CommId) -> Result<(), MpiError> {
                 k.schedule_at(
                     now + delay,
                     m,
-                    Action::Call(Box::new(move |k: &mut Kernel| {
+                    Action::call(move |k: &mut Kernel| {
                         if k.vp(m).is_done() {
                             return;
                         }
@@ -62,7 +62,7 @@ pub fn comm_revoke(comm: CommId) -> Result<(), MpiError> {
                             // the resumed VP will reach for it.
                             k.wake_if_message_blocked(m, at);
                         }
-                    })),
+                    }),
                 );
             }
             Ok(())

@@ -248,6 +248,24 @@ pub mod ids {
     /// Physical copies injected for those logical messages (the
     /// replication protocol's message amplification).
     pub const REP_COPIES: usize = 45;
+    /// Windows where the parallel engine skipped the ingest phase (and
+    /// its barrier) because nothing was exchanged (volatile: depends on
+    /// worker/shard count).
+    pub const ENGINE_INGEST_SKIPS: usize = 46;
+    /// Largest number of stolen shard-tasks any single window saw
+    /// (volatile: work-stealing is scheduling-dependent).
+    pub const ENGINE_STEAL_HWM: usize = 47;
+    /// Longest single barrier wait of the run, wall-clock nanoseconds
+    /// (volatile: wall-clock).
+    pub const ENGINE_BARRIER_HWM_NS: usize = 48;
+    /// Event-storage reuse ratio of the calendar queue's bucket arena,
+    /// in permille (pushes landing in already-allocated capacity per
+    /// 1000 pushes; 1000 = zero steady-state allocation). Volatile:
+    /// occupancy history depends on the shard partition and windowing.
+    pub const ENGINE_POOL_REUSE_RATIO: usize = 49;
+    /// High-water mark of a single calendar-queue bucket (volatile:
+    /// bucket occupancy depends on the shard partition).
+    pub const ENGINE_QUEUE_BUCKET_HWM: usize = 50;
 }
 
 /// The metric schema, indexed by [`ids`].
@@ -300,6 +318,14 @@ pub const SPEC: &[MetricDef] = &[
     MetricDef::histogram("rep.failover_ns", Unit::Nanos, LATENCY_BUCKETS),
     MetricDef::counter("rep.logical_msgs", Unit::Count),
     MetricDef::counter("rep.copies", Unit::Count),
+    // Data-oriented event-core gauges, set once post-run from the
+    // EngineProfile — execution-shape data, volatile like the rest of
+    // the engine.* family.
+    MetricDef::gauge("engine.ingest_skips", Unit::Count).volatile(),
+    MetricDef::gauge("engine.window.steal_hwm", Unit::Count).volatile(),
+    MetricDef::gauge("engine.window.barrier_wait_hwm_ns", Unit::Nanos).volatile(),
+    MetricDef::gauge("engine.pool.reuse_ratio", Unit::Count).volatile(),
+    MetricDef::gauge("engine.queue.bucket_hwm", Unit::Count).volatile(),
 ];
 
 /// A filled histogram.
@@ -489,7 +515,7 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::REP_COPIES + 1);
+        assert_eq!(SPEC.len(), ids::ENGINE_QUEUE_BUCKET_HWM + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
@@ -505,12 +531,21 @@ mod tests {
         assert_eq!(SPEC[ids::REP_HEARTBEATS].name, "rep.heartbeats");
         assert_eq!(SPEC[ids::REP_FAILOVER_NS].kind, MetricKind::Histogram);
         assert_eq!(SPEC[ids::REP_COPIES].name, "rep.copies");
+        assert_eq!(SPEC[ids::ENGINE_INGEST_SKIPS].name, "engine.ingest_skips");
+        assert_eq!(SPEC[ids::ENGINE_STEAL_HWM].name, "engine.window.steal_hwm");
+        assert_eq!(
+            SPEC[ids::ENGINE_BARRIER_HWM_NS].name,
+            "engine.window.barrier_wait_hwm_ns"
+        );
+        assert_eq!(SPEC[ids::ENGINE_POOL_REUSE_RATIO].name, "engine.pool.reuse_ratio");
+        assert_eq!(SPEC[ids::ENGINE_QUEUE_BUCKET_HWM].name, "engine.queue.bucket_hwm");
         // Exactly the execution-shape metrics (engine profile + route
-        // cache occupancy) are volatile; payload accounting is part of
-        // the deterministic snapshot.
+        // cache occupancy + event-core pool/queue shape) are volatile;
+        // payload accounting is part of the deterministic snapshot.
         for (id, def) in SPEC.iter().enumerate() {
-            let expect_volatile =
-                (ids::ENGINE_WINDOWS..=ids::NET_ROUTE_CACHE_EVICTIONS).contains(&id);
+            let expect_volatile = (ids::ENGINE_WINDOWS..=ids::NET_ROUTE_CACHE_EVICTIONS)
+                .contains(&id)
+                || (ids::ENGINE_INGEST_SKIPS..=ids::ENGINE_QUEUE_BUCKET_HWM).contains(&id);
             assert_eq!(def.volatile, expect_volatile, "volatility of {}", def.name);
         }
         // Names are unique.
