@@ -26,11 +26,11 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::Arc;
-use xsim_ckpt::{Checkpoint, CheckpointManager};
+use xsim_ckpt::{Checkpoint, CheckpointManager, ModeWriter};
 use xsim_core::vp::VpProgram;
 use xsim_core::SimTime;
 use xsim_fs::FsService;
-use xsim_mpi::{mpi_program, Comm, MpiCtx, MpiError, ReduceOp};
+use xsim_mpi::{mpi_program, CkptMode, Comm, MpiCtx, MpiError, ReduceOp};
 use xsim_proc::Work;
 
 /// How the computation phase is performed.
@@ -61,6 +61,8 @@ pub struct HeatConfig {
     pub ckpt_interval: u64,
     /// Compute mode.
     pub mode: ComputeMode,
+    /// Checkpoint write strategy (paper-fidelity default: `Full`).
+    pub ckpt_mode: CkptMode,
     /// Native reference-core time to update one grid point (calibrated
     /// default reproduces the paper's E1 ≈ 5,248 s baseline at full
     /// scale under the 1000× slowdown model).
@@ -84,6 +86,7 @@ impl HeatConfig {
             halo_interval: ckpt_interval,
             ckpt_interval,
             mode: ComputeMode::Modeled,
+            ckpt_mode: CkptMode::Full,
             per_point: SimTime::from_nanos(1280),
             prefix: "heat".into(),
         }
@@ -98,6 +101,7 @@ impl HeatConfig {
             halo_interval: 5,
             ckpt_interval: 5,
             mode: ComputeMode::Real,
+            ckpt_mode: CkptMode::Full,
             per_point: SimTime::from_nanos(160),
             prefix: "heat".into(),
         }
@@ -377,7 +381,7 @@ async fn halo_exchange(
 async fn write_checkpoint(
     mpi: &MpiCtx,
     cfg: &HeatConfig,
-    mgr: &CheckpointManager,
+    writer: &mut ModeWriter,
     state: &State,
     it: u64,
 ) -> Result<(), MpiError> {
@@ -395,14 +399,11 @@ async fn write_checkpoint(
             ckpt.with_section(sections::TOKEN, Bytes::from(token.to_le_bytes().to_vec()))
         }
     };
-    if matches!(state, State::Modeled { .. }) {
-        // Charge the I/O cost of the grid the modeled run would have
-        // written (free under the paper's Table II file system model).
-        xsim_fs::charge_write(cfg.points_per_rank() as usize * 8).await;
-    }
-    mgr.write(&ckpt)
-        .await
-        .map_err(|e| MpiError::Io(e.to_string()))
+    // In modeled compute the checkpoint is a tiny surrogate; the writer
+    // charges the I/O/network volume the real grid would have cost
+    // (free under the paper's Table II file system model).
+    let model_bytes = matches!(state, State::Modeled { .. }).then(|| cfg.points_per_rank() * 8);
+    writer.write(mpi, &ckpt, model_bytes).await
 }
 
 fn restore_state(cfg: &HeatConfig, ckpt: &Checkpoint, rank: usize) -> Option<(State, u64)> {
@@ -439,7 +440,7 @@ pub fn program(cfg: HeatConfig) -> Arc<dyn VpProgram> {
         let cfg = cfg.clone();
         async move {
             let w = mpi.world();
-            let mgr = CheckpointManager::new(&cfg.prefix);
+            let mut writer = ModeWriter::new(CheckpointManager::new(&cfg.prefix), cfg.ckpt_mode);
             let store = xsim_core::ctx::with_kernel(|k, _| k.service::<FsService>().store.clone());
 
             // Restart path: load the newest valid checkpoint, deleting
@@ -447,7 +448,7 @@ pub fn program(cfg: HeatConfig) -> Arc<dyn VpProgram> {
             // iteration (the orchestrator's cleanup guarantees a
             // consistent latest generation — this allreduce asserts it).
             let mut it: u64 = 0;
-            let mut state = match mgr.load_latest(&store, mpi.rank as u32).await {
+            let mut state = match writer.load_latest(&mpi, &store).await {
                 Some(ckpt) => match restore_state(&cfg, &ckpt, mpi.rank) {
                     Some((s, iter)) => {
                         it = iter;
@@ -505,13 +506,11 @@ pub fn program(cfg: HeatConfig) -> Arc<dyn VpProgram> {
 
                 // Checkpoint phase: write, barrier, delete previous.
                 if it.is_multiple_of(cfg.ckpt_interval) || it == cfg.iterations {
-                    write_checkpoint(&mpi, &cfg, &mgr, &state, it).await?;
+                    write_checkpoint(&mpi, &cfg, &mut writer, &state, it).await?;
                     mpi.barrier(w).await?;
                     if let Some(prev) = last_ckpt.take() {
                         if prev != it {
-                            mgr.delete_generation(prev, mpi.rank as u32)
-                                .await
-                                .map_err(|e| MpiError::Io(e.to_string()))?;
+                            writer.retire(&mpi, prev).await?;
                         }
                     }
                     last_ckpt = Some(it);

@@ -291,7 +291,9 @@ mod tests {
         assert!(cfg.map().is_err());
 
         let mut cfg = small_rep();
-        cfg.scheme = ProtectionScheme::CheckpointRestart;
+        cfg.scheme = ProtectionScheme::CheckpointRestart {
+            mode: Default::default(),
+        };
         assert!(cfg.map().is_err());
 
         // Partial without the checkpoint fallback is rejected.

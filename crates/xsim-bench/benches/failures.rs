@@ -18,6 +18,7 @@ fn heat_cfg(ranks: [usize; 3]) -> HeatConfig {
         halo_interval: 10,
         ckpt_interval: 10,
         mode: ComputeMode::Modeled,
+        ckpt_mode: Default::default(),
         per_point: SimTime::from_micros(1),
         prefix: "bench".into(),
     }

@@ -199,6 +199,7 @@ fn section_engines() {
         halo_interval: 10,
         ckpt_interval: 50,
         mode: xsim_apps::ComputeMode::Modeled,
+        ckpt_mode: Default::default(),
         per_point: SimTime::from_micros(1),
         prefix: "abl".into(),
     };
@@ -232,6 +233,7 @@ fn section_fs_cost() {
         halo_interval: 25,
         ckpt_interval: 25,
         mode: xsim_apps::ComputeMode::Modeled,
+        ckpt_mode: Default::default(),
         per_point: SimTime::from_micros(1),
         prefix: "abl".into(),
     };
@@ -245,6 +247,7 @@ fn section_fs_cost() {
                 meta_latency: SimTime::from_millis(1),
                 write_bw: 10.0e6,
                 read_bw: 100.0e6,
+                pfs: None,
             },
         ),
         (
@@ -253,6 +256,7 @@ fn section_fs_cost() {
                 meta_latency: SimTime::from_millis(10),
                 write_bw: 256.0e3,
                 read_bw: 2.56e6,
+                pfs: None,
             },
         ),
     ] {

@@ -31,6 +31,7 @@ fn main() {
         halo_interval: 1000,
         ckpt_interval: 1000,
         mode: ComputeMode::Modeled,
+        ckpt_mode: Default::default(),
         per_point: SimTime::from_nanos(1280),
         prefix: "sweep".into(),
     };
@@ -43,6 +44,7 @@ fn main() {
         meta_latency: delta,
         write_bw: f64::INFINITY,
         read_bw: f64::INFINITY,
+        pfs: None,
     };
 
     let t_daly = daly_interval(delta, mttf);

@@ -57,6 +57,7 @@ fn main() {
         meta_latency: io,
         write_bw: 1.0e9,
         read_bw: 2.0e9,
+        pfs: None,
     };
 
     // The "clean" run honors XSIM_FAILURES / XSIM_NET_FAULTS so the

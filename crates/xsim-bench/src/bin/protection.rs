@@ -51,6 +51,7 @@ fn base_config(scale: Scale) -> HeatConfig {
         halo_interval: 4,
         ckpt_interval: 12,
         mode: ComputeMode::Modeled,
+        ckpt_mode: Default::default(),
         per_point: SimTime::from_nanos(1280),
         prefix: "prot".into(),
     }
@@ -62,7 +63,9 @@ fn scheme_axis(logical: usize) -> Vec<ProtectionScheme> {
     let critical: BTreeSet<usize> = (0..logical / 4).collect();
     vec![
         ProtectionScheme::None,
-        ProtectionScheme::CheckpointRestart,
+        ProtectionScheme::CheckpointRestart {
+            mode: Default::default(),
+        },
         ProtectionScheme::Replication { degree: 2 },
         ProtectionScheme::Partial {
             degree: 2,

@@ -53,7 +53,8 @@ pub fn run_heat_campaign(
     seed: u64,
 ) -> Result<CampaignResult, SimError> {
     let store = FsStore::new();
-    let orchestrator = Orchestrator::new(model, seed, CheckpointManager::new(&cfg.prefix));
+    let mut orchestrator = Orchestrator::new(model, seed, CheckpointManager::new(&cfg.prefix));
+    orchestrator.mode = cfg.ckpt_mode;
     let cfg2 = cfg.clone();
     orchestrator.run_to_completion(
         store,
@@ -145,7 +146,8 @@ pub fn apply_env_faults(builder: SimBuilder) -> SimBuilder {
 
 /// Read the protection scheme from `XSIM_PROTECTION`, if set —
 /// the resilience counterpart of [`env_fault_schedules`]'s injection
-/// variables. Format: `none`, `cr`, `replication[:DEGREE]`, or
+/// variables. Format: `none`, `cr[:MODE]` with `MODE` one of `full`,
+/// `agg[:G]`, `buddy`, `incr[:K]`, `replication[:DEGREE]`, or
 /// `partial[:DEGREE[:SET]]` with `SET` a `+`-separated list of ranks
 /// and `A-B` ranges (e.g. `partial:2:0-3+8`). Exits with a diagnostic
 /// on a malformed spec.
@@ -242,7 +244,11 @@ pub fn run_protection_cell(
             cfg.ckpt_interval = cfg.iterations;
             (heat3d::program(cfg), None)
         }
-        ProtectionScheme::CheckpointRestart => (heat3d::program(heat.clone()), None),
+        ProtectionScheme::CheckpointRestart { mode } => {
+            let mut cfg = heat.clone();
+            cfg.ckpt_mode = *mode;
+            (heat3d::program(cfg), None)
+        }
         _ => {
             let cfg = RepHeatConfig {
                 heat: heat.clone(),
@@ -260,6 +266,7 @@ pub fn run_protection_cell(
         max_restarts,
         manager: CheckpointManager::new(&heat.prefix),
         ckpt_ranks: logical as u32,
+        mode: scheme.ckpt_mode(),
         done_marker,
     };
     let replicated = scheme.is_replicated();
@@ -447,10 +454,7 @@ pub fn heat_program(cfg: &HeatConfig) -> Arc<dyn xsim_core::vp::VpProgram> {
 /// with a lookahead-respecting wake of its ring successor, exercising
 /// the event core — calendar queue, inline `Call` storage, SoA VP table,
 /// cross-shard exchange — without any MPI-layer machinery on top.
-pub fn million_vp_program(
-    n_ranks: usize,
-    rounds: u32,
-) -> Arc<dyn xsim_core::vp::VpProgram> {
+pub fn million_vp_program(n_ranks: usize, rounds: u32) -> Arc<dyn xsim_core::vp::VpProgram> {
     use xsim_core::vp::VpExit;
     use xsim_core::{ctx, Rank};
     Arc::new(move |rank: Rank| {
@@ -499,11 +503,7 @@ pub fn run_million_vp(
 /// operation: prefill `pending` events, then hold-model churn (pop the
 /// minimum, push a successor a pseudorandom distance into the future)
 /// for `ops` iterations. Keys are unique, as the engine guarantees.
-pub fn queue_churn_ns_per_op(
-    queue: &mut xsim_core::EventQueue,
-    pending: usize,
-    ops: usize,
-) -> f64 {
+pub fn queue_churn_ns_per_op(queue: &mut xsim_core::EventQueue, pending: usize, ops: usize) -> f64 {
     use xsim_core::event::{Action, EventKey, EventRec};
     use xsim_core::Rank;
     fn xorshift(s: &mut u64) -> u64 {
@@ -512,12 +512,7 @@ pub fn queue_churn_ns_per_op(
         *s ^= *s << 17;
         *s
     }
-    fn push_at(
-        q: &mut xsim_core::EventQueue,
-        rng: &mut u64,
-        seq: &mut u64,
-        time: u64,
-    ) {
+    fn push_at(q: &mut xsim_core::EventQueue, rng: &mut u64, seq: &mut u64, time: u64) {
         let r = xorshift(rng);
         *seq += 1;
         q.push(EventRec {

@@ -25,6 +25,7 @@
 pub mod codec;
 pub mod daly;
 pub mod manager;
+pub mod modes;
 pub mod orchestrator;
 pub mod protection;
 
@@ -34,5 +35,9 @@ pub use daly::{
     OverheadComparison,
 };
 pub use manager::{read_exit_time, write_exit_time, CheckpointManager, EXIT_TIME_FILE};
+pub use modes::{
+    apply_diff, block_diff, decode_diff, encode_diff, member_section, resolve_latest, DiffFile,
+    ModeWriter, ResolvedCheckpoint, CKPT_TAG, DIFF_BLOCK,
+};
 pub use orchestrator::{CampaignResult, Orchestrator};
 pub use protection::ProtectionCampaign;

@@ -55,10 +55,17 @@ impl CheckpointManager {
     /// cost model). Call from within a VP.
     pub async fn write(&self, ckpt: &Checkpoint) -> Result<(), FsError> {
         let name = self.file_name(ckpt.iteration, ckpt.rank);
+        self.write_at(&name, ckpt).await
+    }
+
+    /// Write a checkpoint under an explicit name (aggregated containers,
+    /// diff files), with the same metrics/span accounting as
+    /// [`write`](Self::write). Call from within a VP.
+    pub async fn write_at(&self, name: &str, ckpt: &Checkpoint) -> Result<(), FsError> {
         let data = ckpt.encode();
         let nbytes = data.len() as u64;
         let t0 = obs_clock();
-        fs::write(&name, data).await?;
+        fs::write(name, data).await?;
         if let Some(t0) = t0 {
             ctx::with_kernel(|k, rank| {
                 let t1 = k.vp(rank).clock();

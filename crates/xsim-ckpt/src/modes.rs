@@ -1,0 +1,1042 @@
+//! Scalable checkpointing modes over the PFS model (Kohl et al.,
+//! "A Scalable and Extensible Checkpointing Scheme for Massively
+//! Parallel Simulations").
+//!
+//! Four write strategies share the [`CheckpointManager`] naming scheme:
+//!
+//! * **Full** — every rank writes its whole state to the PFS every
+//!   generation (the paper's §V-B protocol; byte-identical to the
+//!   pre-mode behavior).
+//! * **Aggregated** — ranks are split into groups of `G`; the lowest
+//!   rank of each group is the elected aggregator. Members ship their
+//!   encoded checkpoint to the aggregator over the simulated network;
+//!   the aggregator writes one coalesced container file per group, so
+//!   the PFS sees `P/G` large requests instead of `P` small ones.
+//! * **Buddy** — partner ranks (`r ^ 1`) exchange their encoded state
+//!   over the network and keep both copies in the free node-local
+//!   memory tier; the PFS is touched only when a rank has no partner
+//!   (odd world size) and must spill. A node failure loses that node's
+//!   memory, but the partner's copy survives the restart.
+//! * **Incremental** — every `K`-th generation is a full PFS write; the
+//!   generations in between store a block diff against the previous
+//!   generation's reconstructed bytes. Restore walks the `ibase` chain
+//!   back to the last full checkpoint and replays the diffs forward.
+//!
+//! All mode protocols are deterministic: message sources and tags are
+//! explicit (no wildcards), node-local memory operations touch only
+//! rank-private keys during a run, and every PFS transfer goes through
+//! the striped-I/O event protocol of `xsim-fs`.
+
+use crate::codec::Checkpoint;
+use crate::manager::CheckpointManager;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+use xsim_core::ctx;
+use xsim_fs::{self as fs, FileState, FsService, FsStore};
+use xsim_mpi::{CkptMode, MpiCtx, MpiError};
+use xsim_obs::ids;
+use xsim_obs::service as obs;
+
+/// Reserved tag for checkpoint-mode traffic (below the replication
+/// layer's `REP_TAG_BASE = 1 << 28`, above the applications' small
+/// tags).
+pub const CKPT_TAG: u32 = 0x0C4A_0000;
+
+/// Block granularity of incremental diffs, in bytes.
+pub const DIFF_BLOCK: usize = 256;
+
+/// Section names of an incremental diff file (itself a valid
+/// [`Checkpoint`], so the manager's completeness checks keep working).
+pub mod diff_sections {
+    /// Base generation number the diff applies to (8 bytes LE).
+    pub const BASE: &str = "ibase";
+    /// Changed block indices (u32 LE each).
+    pub const BLOCKS: &str = "iblocks";
+    /// Concatenated changed blocks (the last one may be short).
+    pub const DATA: &str = "idata";
+    /// Total length of the reconstructed bytes (8 bytes LE).
+    pub const LEN: &str = "ilen";
+}
+
+/// Container-section name of one member's checkpoint inside an
+/// aggregated group file.
+pub fn member_section(rank: u32) -> String {
+    format!("m{rank:07}")
+}
+
+// ----------------------------------------------------------------------
+// Pure diff math (proptested in `tests/incremental_prop.rs`)
+// ----------------------------------------------------------------------
+
+/// Block-diff `cur` against `base`: changed block indices plus their
+/// concatenated contents. A block is changed when its bytes differ from
+/// the same range of `base` (ranges absent from `base` always differ).
+pub fn block_diff(base: &[u8], cur: &[u8], block: usize) -> (Vec<u32>, Bytes) {
+    assert!(block > 0, "diff block size must be positive");
+    let mut indices = Vec::new();
+    let mut data = BytesMut::new();
+    let n_blocks = cur.len().div_ceil(block);
+    for i in 0..n_blocks {
+        let lo = i * block;
+        let hi = (lo + block).min(cur.len());
+        let cur_b = &cur[lo..hi];
+        let base_b = if lo < base.len() {
+            &base[lo..hi.min(base.len())]
+        } else {
+            &[][..]
+        };
+        if cur_b != base_b {
+            indices.push(i as u32);
+            data.put_slice(cur_b);
+        }
+    }
+    (indices, data.freeze())
+}
+
+/// Apply a block diff to `base`, producing the `new_len`-byte result.
+/// Inverse of [`block_diff`] for the same block size.
+pub fn apply_diff(
+    base: &[u8],
+    indices: &[u32],
+    data: &[u8],
+    new_len: usize,
+    block: usize,
+) -> Vec<u8> {
+    assert!(block > 0, "diff block size must be positive");
+    let mut out = base.to_vec();
+    out.resize(new_len, 0);
+    let mut off = 0usize;
+    for &i in indices {
+        let lo = (i as usize) * block;
+        let hi = (lo + block).min(new_len);
+        let n = hi.saturating_sub(lo);
+        out[lo..hi].copy_from_slice(&data[off..off + n]);
+        off += n;
+    }
+    out
+}
+
+/// Encode a diff of `cur` against `(base_gen, base)` as a standalone
+/// checkpoint file.
+pub fn encode_diff(
+    rank: u32,
+    generation: u64,
+    base_gen: u64,
+    base: &[u8],
+    cur: &[u8],
+) -> Checkpoint {
+    let (indices, data) = block_diff(base, cur, DIFF_BLOCK);
+    let mut idx = BytesMut::with_capacity(indices.len() * 4);
+    for i in &indices {
+        idx.put_u32_le(*i);
+    }
+    Checkpoint::new(rank, generation)
+        .with_section(
+            diff_sections::BASE,
+            Bytes::from(base_gen.to_le_bytes().to_vec()),
+        )
+        .with_section(diff_sections::BLOCKS, idx.freeze())
+        .with_section(diff_sections::DATA, data)
+        .with_section(
+            diff_sections::LEN,
+            Bytes::from((cur.len() as u64).to_le_bytes().to_vec()),
+        )
+}
+
+/// A decoded diff file.
+pub struct DiffFile {
+    /// Generation the diff applies to.
+    pub base_gen: u64,
+    /// Changed block indices.
+    pub indices: Vec<u32>,
+    /// Concatenated changed blocks.
+    pub data: Bytes,
+    /// Reconstructed total length.
+    pub new_len: usize,
+}
+
+/// Decode a diff file; `None` when `ckpt` is a regular (full)
+/// checkpoint.
+pub fn decode_diff(ckpt: &Checkpoint) -> Option<DiffFile> {
+    let base = ckpt.section(diff_sections::BASE)?;
+    let blocks = ckpt.section(diff_sections::BLOCKS)?;
+    let data = ckpt.section(diff_sections::DATA)?.clone();
+    let len = ckpt.section(diff_sections::LEN)?;
+    if base.len() != 8 || len.len() != 8 || !blocks.len().is_multiple_of(4) {
+        return None;
+    }
+    let indices = blocks
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Some(DiffFile {
+        base_gen: u64::from_le_bytes(base[..8].try_into().expect("8 bytes")),
+        indices,
+        data,
+        new_len: u64::from_le_bytes(len[..8].try_into().expect("8 bytes")) as usize,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Message framing (aggregated/buddy network copies)
+// ----------------------------------------------------------------------
+
+/// Frame an encoded checkpoint for the wire: an 8-byte LE length prefix,
+/// the bytes, then zero padding up to `model_bytes` (so modeled-compute
+/// runs whose surrogate checkpoints are tiny still charge the network
+/// for the state volume a real run would ship).
+fn frame(enc: &Bytes, model_bytes: Option<u64>) -> Bytes {
+    let body = 8 + enc.len();
+    let total = body.max(model_bytes.unwrap_or(0) as usize);
+    let mut out = BytesMut::with_capacity(total);
+    out.put_u64_le(enc.len() as u64);
+    out.put_slice(enc);
+    out.put_slice(&vec![0u8; total - body]);
+    out.freeze()
+}
+
+/// Strip the framing; errors on malformed payloads.
+fn unframe(data: &[u8]) -> Result<Bytes, MpiError> {
+    if data.len() < 8 {
+        return Err(MpiError::Io("short checkpoint frame".into()));
+    }
+    let len = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
+    data.get(8..8 + len)
+        .map(|s| Bytes::from(s.to_vec()))
+        .ok_or_else(|| MpiError::Io("truncated checkpoint frame".into()))
+}
+
+fn io_err(e: impl std::fmt::Display) -> MpiError {
+    MpiError::Io(e.to_string())
+}
+
+fn vp_store() -> Arc<FsStore> {
+    ctx::with_kernel(|k, _| k.service::<FsService>().store.clone())
+}
+
+// ----------------------------------------------------------------------
+// Mode-aware naming and between-run cleanup
+// ----------------------------------------------------------------------
+
+impl CheckpointManager {
+    /// Path of one group's aggregated container within a generation.
+    pub fn agg_file_name(&self, iteration: u64, group: u32) -> String {
+        format!("{}agg{group:07}", self.generation_prefix(iteration))
+    }
+
+    /// Node-local memory-tier prefix (buddy copies).
+    pub fn mem_prefix(&self) -> String {
+        format!("{}/mem/", self.prefix)
+    }
+
+    /// Key of `owner`'s state held in `holder`'s node memory.
+    pub fn mem_file_name(&self, iteration: u64, owner: u32, holder: u32) -> String {
+        format!(
+            "{}{iteration:020}/r{owner:07}@h{holder:07}",
+            self.mem_prefix()
+        )
+    }
+
+    /// Memory-tier generations present, newest first.
+    pub fn mem_generations(&self, store: &FsStore) -> Vec<u64> {
+        let prefix = self.mem_prefix();
+        let mut gens = Vec::new();
+        let mut cursor = prefix.clone();
+        while let Some(key) = store.first_key_at_or_after(&cursor) {
+            let Some(rest) = key.strip_prefix(&prefix) else {
+                break;
+            };
+            let Some((gen_s, _)) = rest.split_once('/') else {
+                break;
+            };
+            let Ok(g) = gen_s.parse::<u64>() else { break };
+            gens.push(g);
+            cursor = format!("{prefix}{gen_s}/\u{7f}");
+        }
+        gens.reverse();
+        gens
+    }
+
+    /// Mode-aware between-run cleanup (the generalization of
+    /// [`CheckpointManager::cleanup_incomplete`]): removes generations a
+    /// restart could not restore from, accounting for the mode's file
+    /// layout, for diff chains, and — for buddy — for the node memories
+    /// lost with `failed` ranks. Returns the generations removed.
+    pub fn cleanup_between_runs(
+        &self,
+        store: &FsStore,
+        n_ranks: u32,
+        mode: CkptMode,
+        failed: &[u32],
+    ) -> Vec<u64> {
+        match mode {
+            CkptMode::Full => self.cleanup_incomplete(store, n_ranks),
+            CkptMode::Aggregated { group } => self.cleanup_agg(store, n_ranks, group as u32),
+            CkptMode::Buddy => self.cleanup_buddy(store, n_ranks, failed),
+            CkptMode::Incremental { .. } => self.cleanup_incremental(store, n_ranks),
+        }
+    }
+
+    fn cleanup_agg(&self, store: &FsStore, n_ranks: u32, group: u32) -> Vec<u64> {
+        let n_groups = n_ranks.div_ceil(group.max(1));
+        let mut removed = Vec::new();
+        for generation in self.generations(store) {
+            let complete = (0..n_groups).all(|g| {
+                let Some(FileState::Complete(data)) = store.get(&self.agg_file_name(generation, g))
+                else {
+                    return false;
+                };
+                let Ok(container) = Checkpoint::decode(&data) else {
+                    return false;
+                };
+                let lo = g * group;
+                let hi = (lo + group).min(n_ranks);
+                (lo..hi).all(|r| {
+                    container
+                        .section(&member_section(r))
+                        .is_some_and(|d| Checkpoint::decode(d).is_ok())
+                })
+            });
+            if !complete {
+                store.delete_prefix(&self.generation_prefix(generation));
+                removed.push(generation);
+            }
+        }
+        removed.sort_unstable();
+        removed
+    }
+
+    fn cleanup_buddy(&self, store: &FsStore, n_ranks: u32, failed: &[u32]) -> Vec<u64> {
+        // The failed ranks' node memories died with their nodes.
+        for key in store.list_prefix(&self.mem_prefix()) {
+            let lost = failed.iter().any(|f| key.ends_with(&format!("@h{f:07}")));
+            if lost {
+                store.delete(&key);
+            }
+        }
+        // A generation is restorable when every rank still has a memory
+        // copy (own or partner's) or, for a partnerless rank, a valid
+        // spill file on the PFS.
+        let mut gens: Vec<u64> = self.mem_generations(store);
+        for g in self.generations(store) {
+            if !gens.contains(&g) {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        let valid_mem = |g: u64, owner: u32, holder: u32| {
+            matches!(store.get(&self.mem_file_name(g, owner, holder)),
+                Some(FileState::Complete(d)) if Checkpoint::decode(&d).is_ok())
+        };
+        let mut removed = Vec::new();
+        for generation in gens {
+            let complete = (0..n_ranks).all(|r| {
+                let partner = r ^ 1;
+                if partner >= n_ranks {
+                    matches!(store.get(&self.file_name(generation, r)),
+                        Some(FileState::Complete(d)) if Checkpoint::decode(&d).is_ok())
+                } else {
+                    valid_mem(generation, r, r) || valid_mem(generation, r, partner)
+                }
+            });
+            if !complete {
+                store.delete_prefix(&self.generation_prefix(generation));
+                store.delete_prefix(&format!("{}{generation:020}/", self.mem_prefix()));
+                removed.push(generation);
+            }
+        }
+        removed
+    }
+
+    fn cleanup_incremental(&self, store: &FsStore, n_ranks: u32) -> Vec<u64> {
+        // First pass: drop generations with missing/corrupt rank files.
+        let mut removed = self.cleanup_incomplete(store, n_ranks);
+        // Second pass: drop generations whose diff chain is broken. All
+        // ranks write the same generation kinds, so rank 0's file
+        // determines the structure.
+        let mut gens = self.generations(store);
+        gens.sort_unstable();
+        let mut valid: Vec<u64> = Vec::new();
+        for generation in gens {
+            let ok = match store.get(&self.file_name(generation, 0)) {
+                Some(FileState::Complete(d)) => match Checkpoint::decode(&d) {
+                    Ok(c) => match decode_diff(&c) {
+                        Some(diff) => valid.contains(&diff.base_gen),
+                        None => true,
+                    },
+                    Err(_) => false,
+                },
+                _ => false,
+            };
+            if ok {
+                valid.push(generation);
+            } else {
+                store.delete_prefix(&self.generation_prefix(generation));
+                removed.push(generation);
+            }
+        }
+        removed.sort_unstable();
+        removed.dedup();
+        removed
+    }
+}
+
+// ----------------------------------------------------------------------
+// The mode writer
+// ----------------------------------------------------------------------
+
+/// Per-rank checkpoint writer implementing the selected [`CkptMode`]
+/// over a [`CheckpointManager`]. Call from within the owning VP.
+pub struct ModeWriter {
+    /// Naming and PFS persistence.
+    pub mgr: CheckpointManager,
+    /// Selected mode.
+    pub mode: CkptMode,
+    /// Incremental chain state: previous generation's reconstructed
+    /// encoded bytes.
+    prev: Option<(u64, Bytes)>,
+    /// Chain position of the next write (`0` = full).
+    pos: u64,
+    /// Whether the most recent write was a full checkpoint.
+    last_was_full: bool,
+    /// Retired-but-chained generations awaiting the next full write.
+    retained: Vec<u64>,
+}
+
+impl ModeWriter {
+    /// Writer for a job prefix and mode.
+    pub fn new(mgr: CheckpointManager, mode: CkptMode) -> Self {
+        ModeWriter {
+            mgr,
+            mode,
+            prev: None,
+            pos: 0,
+            last_was_full: true,
+            retained: Vec::new(),
+        }
+    }
+
+    /// Write one checkpoint generation under the configured mode.
+    ///
+    /// `model_bytes` is the per-rank state volume a modeled-compute run
+    /// stands in for (`None` in real-compute runs, where the checkpoint
+    /// itself carries the state): it sizes the surrogate network frames
+    /// and PFS charges.
+    pub async fn write(
+        &mut self,
+        mpi: &MpiCtx,
+        ckpt: &Checkpoint,
+        model_bytes: Option<u64>,
+    ) -> Result<(), MpiError> {
+        match self.mode {
+            CkptMode::Full => self.write_full(ckpt, model_bytes).await,
+            CkptMode::Aggregated { group } => self.write_agg(mpi, ckpt, model_bytes, group).await,
+            CkptMode::Buddy => self.write_buddy(mpi, ckpt, model_bytes).await,
+            CkptMode::Incremental { full_every } => {
+                self.write_incr(mpi, ckpt, model_bytes, full_every).await
+            }
+        }
+    }
+
+    async fn write_full(
+        &self,
+        ckpt: &Checkpoint,
+        model_bytes: Option<u64>,
+    ) -> Result<(), MpiError> {
+        if let Some(b) = model_bytes {
+            fs::charge_write(b as usize).await;
+        }
+        self.mgr.write(ckpt).await.map_err(io_err)
+    }
+
+    async fn write_agg(
+        &self,
+        mpi: &MpiCtx,
+        ckpt: &Checkpoint,
+        model_bytes: Option<u64>,
+        group: usize,
+    ) -> Result<(), MpiError> {
+        let w = mpi.world();
+        let g0 = (mpi.rank / group) * group;
+        let hi = (g0 + group).min(mpi.size);
+        let enc = ckpt.encode();
+        if mpi.rank != g0 {
+            let framed = frame(&enc, model_bytes);
+            let nbytes = framed.len() as u64;
+            let _ = mpi.isend(w, g0, CKPT_TAG, framed).await?;
+            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_AGG_FORWARD_BYTES, nbytes));
+            return Ok(());
+        }
+        // Aggregator: gather the group's checkpoints (explicit sources,
+        // deterministic order), coalesce into one container file.
+        let mut parts: Vec<(u32, Bytes)> = vec![(mpi.rank as u32, enc)];
+        let mut reqs = Vec::new();
+        for m in (g0 + 1)..hi {
+            reqs.push(mpi.irecv(w, Some(m), Some(CKPT_TAG))?);
+        }
+        let outs = mpi.waitall(w, &reqs).await?;
+        for (m, out) in ((g0 + 1)..hi).zip(outs) {
+            let msg = out.ok_or_else(|| MpiError::Io("aggregation gather lost".into()))?;
+            parts.push((m as u32, unframe(&msg.data)?));
+            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_AGG_GATHERS, 1));
+        }
+        let mut container = Checkpoint::new(mpi.rank as u32, ckpt.iteration);
+        for (r, data) in &parts {
+            container = container.with_section(&member_section(*r), data.clone());
+        }
+        if let Some(b) = model_bytes {
+            // One coalesced charge for the whole group's state volume.
+            fs::charge_write(b as usize * parts.len()).await;
+        }
+        let name = self
+            .mgr
+            .agg_file_name(ckpt.iteration, (mpi.rank / group) as u32);
+        self.mgr.write_at(&name, &container).await.map_err(io_err)
+    }
+
+    async fn write_buddy(
+        &self,
+        mpi: &MpiCtx,
+        ckpt: &Checkpoint,
+        model_bytes: Option<u64>,
+    ) -> Result<(), MpiError> {
+        let partner = mpi.rank ^ 1;
+        if partner >= mpi.size {
+            // Partnerless rank: spill to the PFS on demand.
+            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_BUDDY_SPILLS, 1));
+            return self.write_full(ckpt, model_bytes).await;
+        }
+        let w = mpi.world();
+        let enc = ckpt.encode();
+        let framed = frame(&enc, model_bytes);
+        let out = mpi
+            .sendrecv(w, partner, CKPT_TAG, framed, Some(partner), Some(CKPT_TAG))
+            .await?;
+        let theirs = unframe(&out.data)?;
+        // Node-local memory tier: free direct puts of both copies.
+        let store = vp_store();
+        store.put(
+            &self.mgr.mem_file_name(ckpt.iteration, ckpt.rank, ckpt.rank),
+            enc,
+        );
+        store.put(
+            &self
+                .mgr
+                .mem_file_name(ckpt.iteration, partner as u32, ckpt.rank),
+            theirs,
+        );
+        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_BUDDY_COPIES, 1));
+        Ok(())
+    }
+
+    async fn write_incr(
+        &mut self,
+        mpi: &MpiCtx,
+        ckpt: &Checkpoint,
+        model_bytes: Option<u64>,
+        full_every: u64,
+    ) -> Result<(), MpiError> {
+        let enc = ckpt.encode();
+        let gen = ckpt.iteration;
+        let full = self.prev.is_none() || self.pos == 0;
+        if full {
+            self.write_full(ckpt, model_bytes).await?;
+        } else {
+            let (base_gen, base) = self.prev.as_ref().expect("diff requires a base");
+            let diff = encode_diff(mpi.rank as u32, gen, *base_gen, base, &enc);
+            let n_blocks = diff
+                .section(diff_sections::BLOCKS)
+                .map(|b| (b.len() / 4) as u64)
+                .unwrap_or(0);
+            ctx::with_kernel(|k, _| {
+                obs::record(k, ids::CKPT_DIFF_BLOCKS, n_blocks);
+                obs::record(k, ids::CKPT_DIFF_WRITES, 1);
+            });
+            if let Some(b) = model_bytes {
+                // Modeled dirty fraction: ~25% of the state per interval.
+                fs::charge_write((b as usize / 4).max(1)).await;
+            }
+            let name = self.mgr.file_name(gen, mpi.rank as u32);
+            self.mgr.write_at(&name, &diff).await.map_err(io_err)?;
+        }
+        self.prev = Some((gen, enc));
+        self.last_was_full = full;
+        self.pos = (self.pos + 1) % full_every.max(1);
+        Ok(())
+    }
+
+    /// Retire a superseded generation after the post-write barrier (the
+    /// paper's delete-previous step). Incremental mode defers deletions
+    /// of generations the live diff chain still needs.
+    pub async fn retire(&mut self, mpi: &MpiCtx, prev_gen: u64) -> Result<(), MpiError> {
+        match self.mode {
+            CkptMode::Full | CkptMode::Aggregated { .. } => {
+                // Aggregated: the aggregator deletes the group container;
+                // members have nothing on the PFS.
+                match self.mode {
+                    CkptMode::Aggregated { group } if !mpi.rank.is_multiple_of(group) => Ok(()),
+                    CkptMode::Aggregated { group } => {
+                        let name = self.mgr.agg_file_name(prev_gen, (mpi.rank / group) as u32);
+                        fs::delete(&name).await.map_err(io_err)?;
+                        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_DELETES, 1));
+                        Ok(())
+                    }
+                    _ => self
+                        .mgr
+                        .delete_generation(prev_gen, mpi.rank as u32)
+                        .await
+                        .map(|_| ())
+                        .map_err(io_err),
+                }
+            }
+            CkptMode::Buddy => {
+                let partner = mpi.rank ^ 1;
+                if partner >= mpi.size {
+                    return self
+                        .mgr
+                        .delete_generation(prev_gen, mpi.rank as u32)
+                        .await
+                        .map(|_| ())
+                        .map_err(io_err);
+                }
+                // Node-local memory: free direct deletes of the two
+                // copies this rank holds.
+                let store = vp_store();
+                store.delete(
+                    &self
+                        .mgr
+                        .mem_file_name(prev_gen, mpi.rank as u32, mpi.rank as u32),
+                );
+                store.delete(
+                    &self
+                        .mgr
+                        .mem_file_name(prev_gen, partner as u32, mpi.rank as u32),
+                );
+                Ok(())
+            }
+            CkptMode::Incremental { .. } => {
+                if self.last_was_full {
+                    // A new full checkpoint obsoletes the whole previous
+                    // chain.
+                    let mut gens = std::mem::take(&mut self.retained);
+                    gens.push(prev_gen);
+                    for g in gens {
+                        self.mgr
+                            .delete_generation(g, mpi.rank as u32)
+                            .await
+                            .map_err(io_err)?;
+                    }
+                } else {
+                    // The live chain still replays through prev_gen.
+                    self.retained.push(prev_gen);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Load the newest restorable checkpoint under the configured mode,
+    /// priming the writer's chain state. Call from within the VP before
+    /// the first write of a run.
+    pub async fn load_latest(&mut self, mpi: &MpiCtx, store: &Arc<FsStore>) -> Option<Checkpoint> {
+        match self.mode {
+            CkptMode::Full => {
+                let c = self.mgr.load_latest(store, mpi.rank as u32).await?;
+                record_restore_chain(1);
+                Some(c)
+            }
+            CkptMode::Aggregated { group } => self.load_agg(mpi, store, group).await,
+            CkptMode::Buddy => self.load_buddy(mpi, store).await,
+            CkptMode::Incremental { full_every } => self.load_incr(mpi, store, full_every).await,
+        }
+    }
+
+    async fn load_agg(
+        &self,
+        mpi: &MpiCtx,
+        store: &Arc<FsStore>,
+        group: usize,
+    ) -> Option<Checkpoint> {
+        let g = (mpi.rank / group) as u32;
+        for generation in self.mgr.generations(store) {
+            let name = self.mgr.agg_file_name(generation, g);
+            match fs::read(&name).await {
+                Ok(FileState::Complete(data)) => {
+                    let inner = Checkpoint::decode(&data).ok().and_then(|container| {
+                        container
+                            .section(&member_section(mpi.rank as u32))
+                            .and_then(|d| Checkpoint::decode(d).ok())
+                    });
+                    match inner {
+                        Some(c) => {
+                            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_LOADS, 1));
+                            record_restore_chain(1);
+                            return Some(c);
+                        }
+                        None => {
+                            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_CORRUPT_DISCARDED, 1));
+                            let _ = fs::delete(&name).await;
+                        }
+                    }
+                }
+                Ok(FileState::Partial(_)) => {
+                    ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_CORRUPT_DISCARDED, 1));
+                    let _ = fs::delete(&name).await;
+                }
+                Err(_) => {}
+            }
+        }
+        None
+    }
+
+    async fn load_buddy(&self, mpi: &MpiCtx, store: &Arc<FsStore>) -> Option<Checkpoint> {
+        let rank = mpi.rank as u32;
+        let partner = mpi.rank ^ 1;
+        if partner >= mpi.size {
+            let c = self.mgr.load_latest(store, rank).await?;
+            record_restore_chain(1);
+            return Some(c);
+        }
+        for generation in self.mgr.mem_generations(store) {
+            // Node-local memory reads are free: own copy first, then the
+            // partner's surviving copy.
+            for holder in [rank, partner as u32] {
+                let name = self.mgr.mem_file_name(generation, rank, holder);
+                if let Some(FileState::Complete(data)) = store.get(&name) {
+                    if let Ok(c) = Checkpoint::decode(&data) {
+                        ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_LOADS, 1));
+                        record_restore_chain(1);
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    async fn load_incr(
+        &mut self,
+        mpi: &MpiCtx,
+        store: &Arc<FsStore>,
+        full_every: u64,
+    ) -> Option<Checkpoint> {
+        let rank = mpi.rank as u32;
+        'candidates: for generation in self.mgr.generations_for(store, rank) {
+            // Walk the ibase chain down to the full checkpoint.
+            let mut frames: Vec<DiffFile> = Vec::new();
+            let mut chain = vec![generation];
+            let mut cur_gen = generation;
+            let base = loop {
+                let raw = match fs::read(&self.mgr.file_name(cur_gen, rank)).await {
+                    Ok(FileState::Complete(d)) => d,
+                    _ => continue 'candidates,
+                };
+                let Ok(c) = Checkpoint::decode(&raw) else {
+                    continue 'candidates;
+                };
+                match decode_diff(&c) {
+                    Some(diff) => {
+                        cur_gen = diff.base_gen;
+                        frames.push(diff);
+                        chain.push(cur_gen);
+                    }
+                    None => break raw,
+                }
+            };
+            // Replay the diffs forward, oldest first.
+            let mut bytes = base.to_vec();
+            for diff in frames.iter().rev() {
+                bytes = apply_diff(&bytes, &diff.indices, &diff.data, diff.new_len, DIFF_BLOCK);
+            }
+            let Ok(c) = Checkpoint::decode(&bytes) else {
+                continue 'candidates;
+            };
+            ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_LOADS, 1));
+            record_restore_chain(chain.len() as u64);
+            // Prime the chain state so the next writes continue it.
+            self.prev = Some((generation, Bytes::from(bytes)));
+            self.pos = chain.len() as u64 % full_every.max(1);
+            self.last_was_full = chain.len() == 1;
+            self.retained = chain[1..].to_vec();
+            return Some(c);
+        }
+        None
+    }
+}
+
+fn record_restore_chain(len: u64) {
+    ctx::with_kernel(|k, _| obs::record(k, ids::CKPT_RESTORE_CHAIN, len));
+}
+
+// ----------------------------------------------------------------------
+// Offline resolution (tests/benches, outside the simulation)
+// ----------------------------------------------------------------------
+
+/// A checkpoint resolved from the store without simulated I/O.
+pub struct ResolvedCheckpoint {
+    /// The reconstructed checkpoint.
+    pub ckpt: Checkpoint,
+    /// Generation it captures.
+    pub generation: u64,
+    /// Restore-chain length (1 except for incremental diffs).
+    pub chain_len: usize,
+}
+
+/// Resolve `rank`'s newest restorable checkpoint directly from the
+/// store, mirroring the in-simulation loaders — usable from tests and
+/// benches to inspect final state regardless of mode.
+pub fn resolve_latest(
+    store: &FsStore,
+    mgr: &CheckpointManager,
+    mode: CkptMode,
+    rank: u32,
+    n_ranks: u32,
+) -> Option<ResolvedCheckpoint> {
+    let read_valid = |name: &str| match store.get(name) {
+        Some(FileState::Complete(d)) => Some(d),
+        _ => None,
+    };
+    match mode {
+        CkptMode::Full => {
+            for generation in mgr.generations_for(store, rank) {
+                if let Some(d) = read_valid(&mgr.file_name(generation, rank)) {
+                    if let Ok(ckpt) = Checkpoint::decode(&d) {
+                        return Some(ResolvedCheckpoint {
+                            ckpt,
+                            generation,
+                            chain_len: 1,
+                        });
+                    }
+                }
+            }
+            None
+        }
+        CkptMode::Aggregated { group } => {
+            let g = rank / group as u32;
+            for generation in mgr.generations(store) {
+                let Some(d) = read_valid(&mgr.agg_file_name(generation, g)) else {
+                    continue;
+                };
+                let inner = Checkpoint::decode(&d).ok().and_then(|container| {
+                    container
+                        .section(&member_section(rank))
+                        .and_then(|b| Checkpoint::decode(b).ok())
+                });
+                if let Some(ckpt) = inner {
+                    return Some(ResolvedCheckpoint {
+                        ckpt,
+                        generation,
+                        chain_len: 1,
+                    });
+                }
+            }
+            None
+        }
+        CkptMode::Buddy => {
+            let partner = rank ^ 1;
+            if partner >= n_ranks {
+                return resolve_latest(store, mgr, CkptMode::Full, rank, n_ranks);
+            }
+            for generation in mgr.mem_generations(store) {
+                for holder in [rank, partner] {
+                    if let Some(d) = read_valid(&mgr.mem_file_name(generation, rank, holder)) {
+                        if let Ok(ckpt) = Checkpoint::decode(&d) {
+                            return Some(ResolvedCheckpoint {
+                                ckpt,
+                                generation,
+                                chain_len: 1,
+                            });
+                        }
+                    }
+                }
+            }
+            None
+        }
+        CkptMode::Incremental { .. } => {
+            'candidates: for generation in mgr.generations_for(store, rank) {
+                let mut frames: Vec<DiffFile> = Vec::new();
+                let mut chain_len = 1usize;
+                let mut cur_gen = generation;
+                let base = loop {
+                    let Some(raw) = read_valid(&mgr.file_name(cur_gen, rank)) else {
+                        continue 'candidates;
+                    };
+                    let Ok(c) = Checkpoint::decode(&raw) else {
+                        continue 'candidates;
+                    };
+                    match decode_diff(&c) {
+                        Some(diff) => {
+                            cur_gen = diff.base_gen;
+                            chain_len += 1;
+                            frames.push(diff);
+                        }
+                        None => break raw,
+                    }
+                };
+                let mut bytes = base.to_vec();
+                for diff in frames.iter().rev() {
+                    bytes = apply_diff(&bytes, &diff.indices, &diff.data, diff.new_len, DIFF_BLOCK);
+                }
+                let Ok(ckpt) = Checkpoint::decode(&bytes) else {
+                    continue 'candidates;
+                };
+                return Some(ResolvedCheckpoint {
+                    ckpt,
+                    generation,
+                    chain_len,
+                });
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_diff_round_trips() {
+        let base = vec![7u8; 1000];
+        let mut cur = base.clone();
+        cur[0] = 1;
+        cur[511] = 2;
+        cur.extend_from_slice(&[9u8; 100]);
+        let (idx, data) = block_diff(&base, &cur, DIFF_BLOCK);
+        // Blocks 0 (byte 0), 1 (byte 511), 3 (tail shrink + growth) and 4
+        // (extension) change; block 2 is untouched.
+        assert!(idx.contains(&0) && idx.contains(&1) && !idx.contains(&2));
+        let out = apply_diff(&base, &idx, &data, cur.len(), DIFF_BLOCK);
+        assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn block_diff_handles_shrink() {
+        let base = vec![3u8; 700];
+        let cur = vec![3u8; 300];
+        let (idx, data) = block_diff(&base, &cur, DIFF_BLOCK);
+        // A pure shrink needs no changed blocks: `new_len` truncates.
+        assert!(idx.is_empty());
+        let out = apply_diff(&base, &idx, &data, cur.len(), DIFF_BLOCK);
+        assert_eq!(out, cur);
+        // Shrink plus a tail edit still round-trips.
+        let mut cur2 = cur.clone();
+        cur2[299] = 9;
+        let (idx, data) = block_diff(&base, &cur2, DIFF_BLOCK);
+        assert_eq!(idx, vec![1]);
+        assert_eq!(apply_diff(&base, &idx, &data, cur2.len(), DIFF_BLOCK), cur2);
+    }
+
+    #[test]
+    fn identical_bytes_produce_empty_diff() {
+        let b = vec![5u8; 4096];
+        let (idx, data) = block_diff(&b, &b, DIFF_BLOCK);
+        assert!(idx.is_empty() && data.is_empty());
+        assert_eq!(apply_diff(&b, &idx, &data, b.len(), DIFF_BLOCK), b);
+    }
+
+    #[test]
+    fn diff_files_are_valid_checkpoints() {
+        let base = Checkpoint::new(3, 10)
+            .with_section("grid", Bytes::from(vec![1u8; 900]))
+            .encode();
+        let cur = Checkpoint::new(3, 20)
+            .with_section("grid", Bytes::from(vec![2u8; 900]))
+            .encode();
+        let diff = encode_diff(3, 20, 10, &base, &cur);
+        let enc = diff.encode();
+        let back = Checkpoint::decode(&enc).unwrap();
+        let d = decode_diff(&back).expect("diff sections");
+        assert_eq!(d.base_gen, 10);
+        assert_eq!(d.new_len, cur.len());
+        let out = apply_diff(&base, &d.indices, &d.data, d.new_len, DIFF_BLOCK);
+        assert_eq!(Bytes::from(out), cur);
+        // Regular checkpoints are not diffs.
+        assert!(decode_diff(&Checkpoint::decode(&base).unwrap()).is_none());
+    }
+
+    #[test]
+    fn framing_round_trips_and_pads() {
+        let enc = Bytes::from(vec![9u8; 40]);
+        let f = frame(&enc, Some(4096));
+        assert_eq!(f.len(), 4096, "padded to the modeled volume");
+        assert_eq!(unframe(&f).unwrap(), enc);
+        let f = frame(&enc, None);
+        assert_eq!(f.len(), 48, "unpadded in real-compute runs");
+        assert_eq!(unframe(&f).unwrap(), enc);
+        assert!(unframe(&f[..7]).is_err());
+    }
+
+    #[test]
+    fn agg_cleanup_requires_all_group_containers() {
+        let store = FsStore::new();
+        let mgr = CheckpointManager::new("job");
+        let member = |r: u32| Checkpoint::new(r, 5).encode();
+        // Generation 5: group 0 present, group 1 missing (4 ranks, G=2).
+        let c0 = Checkpoint::new(0, 5)
+            .with_section(&member_section(0), member(0))
+            .with_section(&member_section(1), member(1));
+        store.put(&mgr.agg_file_name(5, 0), c0.encode());
+        let removed = mgr.cleanup_between_runs(&store, 4, CkptMode::Aggregated { group: 2 }, &[]);
+        assert_eq!(removed, vec![5]);
+        assert!(!store.exists(&mgr.agg_file_name(5, 0)));
+    }
+
+    #[test]
+    fn buddy_cleanup_purges_failed_holders_but_keeps_partner_copies() {
+        let store = FsStore::new();
+        let mgr = CheckpointManager::new("job");
+        let enc = |r: u32| Checkpoint::new(r, 3).encode();
+        // 2 ranks, both hold both copies.
+        for holder in 0..2u32 {
+            for owner in 0..2u32 {
+                store.put(&mgr.mem_file_name(3, owner, holder), enc(owner));
+            }
+        }
+        // Rank 1's node died: its held copies vanish, but rank 0 still
+        // holds rank 1's state, so the generation survives.
+        let removed = mgr.cleanup_between_runs(&store, 2, CkptMode::Buddy, &[1]);
+        assert!(removed.is_empty());
+        assert!(!store.exists(&mgr.mem_file_name(3, 1, 1)));
+        assert!(store.exists(&mgr.mem_file_name(3, 1, 0)));
+        // Rank 0's node dies too: every copy is gone, nothing restorable.
+        let removed = mgr.cleanup_between_runs(&store, 2, CkptMode::Buddy, &[0, 1]);
+        assert!(removed.is_empty(), "fully-lost generations just vanish");
+        assert!(store.list_prefix(&mgr.mem_prefix()).is_empty());
+        assert!(resolve_latest(&store, &mgr, CkptMode::Buddy, 0, 2).is_none());
+        // A generation that is enumerable but missing one rank's copies
+        // is torn down wholesale.
+        store.put(&mgr.mem_file_name(4, 0, 0), enc(0));
+        let removed = mgr.cleanup_between_runs(&store, 2, CkptMode::Buddy, &[]);
+        assert_eq!(removed, vec![4]);
+    }
+
+    #[test]
+    fn incremental_cleanup_drops_broken_chains() {
+        let store = FsStore::new();
+        let mgr = CheckpointManager::new("job");
+        let full = Checkpoint::new(0, 10).with_section("s", Bytes::from_static(b"abc"));
+        let full_enc = full.encode();
+        store.put(&mgr.file_name(10, 0), full_enc.clone());
+        let cur = Checkpoint::new(0, 20)
+            .with_section("s", Bytes::from_static(b"xyz"))
+            .encode();
+        store.put(
+            &mgr.file_name(20, 0),
+            encode_diff(0, 20, 10, &full_enc, &cur).encode(),
+        );
+        // A diff whose base generation is gone.
+        store.put(
+            &mgr.file_name(30, 0),
+            encode_diff(0, 30, 25, &full_enc, &cur).encode(),
+        );
+        let removed =
+            mgr.cleanup_between_runs(&store, 1, CkptMode::Incremental { full_every: 4 }, &[]);
+        assert_eq!(removed, vec![30]);
+        let r = resolve_latest(&store, &mgr, CkptMode::Incremental { full_every: 4 }, 0, 1)
+            .expect("chain resolves");
+        assert_eq!(r.generation, 20);
+        assert_eq!(r.chain_len, 2);
+        assert_eq!(r.ckpt.section("s").unwrap(), &Bytes::from_static(b"xyz"));
+    }
+}

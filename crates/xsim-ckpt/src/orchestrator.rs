@@ -21,7 +21,7 @@ use xsim_core::vp::VpProgram;
 use xsim_core::{ExitKind, SimError, SimTime};
 use xsim_fault::FailureModel;
 use xsim_fs::FsStore;
-use xsim_mpi::{RunReport, SimBuilder};
+use xsim_mpi::{CkptMode, RunReport, SimBuilder};
 
 /// Outcome of a full run-to-completion campaign.
 #[derive(Debug)]
@@ -59,6 +59,9 @@ pub struct Orchestrator {
     /// Checkpoint manager matching the application's (for the
     /// between-runs cleanup step).
     pub manager: CheckpointManager,
+    /// Checkpoint mode the application writes with (selects the
+    /// between-runs cleanup layout).
+    pub mode: CkptMode,
 }
 
 impl Orchestrator {
@@ -69,6 +72,7 @@ impl Orchestrator {
             seed,
             max_restarts: 256,
             manager,
+            mode: CkptMode::Full,
         }
     }
 
@@ -98,6 +102,7 @@ impl Orchestrator {
             failures += report.sim.failures.len() as u64;
             let exit_kind = report.sim.exit;
             let exit_time = report.exit_time();
+            let failed: Vec<u32> = report.sim.failures.iter().map(|f| f.rank.0).collect();
             runs.push(report);
 
             match exit_kind {
@@ -114,7 +119,8 @@ impl Orchestrator {
                     // checkpoint sets before restarting (paper §IV-E,
                     // §V-B).
                     write_exit_time(&store, exit_time);
-                    self.manager.cleanup_incomplete(&store, n_ranks as u32);
+                    self.manager
+                        .cleanup_between_runs(&store, n_ranks as u32, self.mode, &failed);
                 }
             }
         }

@@ -27,7 +27,7 @@ use xsim_core::vp::VpProgram;
 use xsim_core::{ExitKind, SimError, SimTime};
 use xsim_fault::FailureSchedule;
 use xsim_fs::FsStore;
-use xsim_mpi::SimBuilder;
+use xsim_mpi::{CkptMode, SimBuilder};
 
 /// Schedule-driven, scheme-agnostic restart campaign.
 pub struct ProtectionCampaign {
@@ -42,6 +42,9 @@ pub struct ProtectionCampaign {
     /// Number of checkpointing ranks (logical ranks for replicated
     /// schemes) — the completeness unit for cleanup.
     pub ckpt_ranks: u32,
+    /// Checkpoint mode the application writes with (selects the
+    /// between-runs cleanup layout).
+    pub mode: CkptMode,
     /// Store name of the application's completion marker, if the
     /// application writes one (replicated runs); `None` = only
     /// `ExitKind::Completed` counts as success.
@@ -101,6 +104,7 @@ impl ProtectionCampaign {
             failures += report.sim.failures.len() as u64;
             let exit_kind = report.sim.exit;
             let exit_time = report.exit_time();
+            let failed: Vec<u32> = report.sim.failures.iter().map(|f| f.rank.0).collect();
             runs.push(report);
 
             let marker_present = self
@@ -116,7 +120,8 @@ impl ProtectionCampaign {
                 });
             }
             write_exit_time(&store, exit_time);
-            self.manager.cleanup_incomplete(&store, self.ckpt_ranks);
+            self.manager
+                .cleanup_between_runs(&store, self.ckpt_ranks, self.mode, &failed);
         }
         let finish_time = runs.last().map(|r| r.exit_time()).unwrap_or(SimTime::ZERO);
         Ok(CampaignResult {

@@ -1,0 +1,88 @@
+//! Property-based tests for the checkpoint modes: the incremental diff
+//! chain always restores to the exact bytes of a fresh full checkpoint,
+//! and buddy memory copies / partnerless spills are lossless.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use xsim_ckpt::{
+    apply_diff, block_diff, encode_diff, resolve_latest, Checkpoint, CheckpointManager,
+};
+use xsim_fs::FsStore;
+use xsim_mpi::CkptMode;
+
+proptest! {
+    /// Pure diff math: `apply(diff(base → cur)) == cur` for any inputs
+    /// and any block size.
+    #[test]
+    fn diff_round_trips(
+        base in proptest::collection::vec(any::<u8>(), 0..2048),
+        cur in proptest::collection::vec(any::<u8>(), 0..2048),
+        block in 1usize..64,
+    ) {
+        let (idx, data) = block_diff(&base, &cur, block);
+        let out = apply_diff(&base, &idx, &data, cur.len(), block);
+        prop_assert_eq!(out, cur);
+    }
+
+    /// A stored chain (one full checkpoint + a diff per later
+    /// generation) restores to exactly the checkpoint a fresh full
+    /// write of the final state would produce.
+    #[test]
+    fn incremental_chain_restores_like_full(
+        states in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..1500),
+            1..6,
+        ),
+    ) {
+        let store = FsStore::new();
+        let mgr = CheckpointManager::new("prop");
+        let encs: Vec<Bytes> = states
+            .iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                Checkpoint::new(0, (i as u64 + 1) * 10)
+                    .with_section("s", Bytes::from(payload.clone()))
+                    .encode()
+            })
+            .collect();
+        // Generation 10 is full; every later generation diffs against
+        // its predecessor's reconstructed bytes.
+        store.put(&mgr.file_name(10, 0), encs[0].clone());
+        for i in 1..encs.len() {
+            let generation = (i as u64 + 1) * 10;
+            let diff = encode_diff(0, generation, i as u64 * 10, &encs[i - 1], &encs[i]);
+            store.put(&mgr.file_name(generation, 0), diff.encode());
+        }
+        let mode = CkptMode::Incremental { full_every: 4 };
+        let resolved = resolve_latest(&store, &mgr, mode, 0, 1).expect("chain resolves");
+        prop_assert_eq!(resolved.chain_len, encs.len());
+        prop_assert_eq!(resolved.generation, encs.len() as u64 * 10);
+        let fresh = Checkpoint::decode(&encs[encs.len() - 1]).expect("valid checkpoint");
+        prop_assert_eq!(resolved.ckpt, fresh);
+    }
+
+    /// Buddy restore is lossless whichever single holder survives, and
+    /// the partnerless spill path round-trips through the PFS files.
+    #[test]
+    fn buddy_copies_and_spills_are_lossless(
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        lose_own in any::<bool>(),
+    ) {
+        let store = FsStore::new();
+        let mgr = CheckpointManager::new("prop");
+        let ckpt = Checkpoint::new(0, 7).with_section("s", Bytes::from(payload.clone()));
+        let enc = ckpt.encode();
+        // Partnered pair (ranks 0/1): rank 0's state lives in both node
+        // memories; losing either single copy must not lose the state.
+        store.put(&mgr.mem_file_name(7, 0, 0), enc.clone());
+        store.put(&mgr.mem_file_name(7, 0, 1), enc.clone());
+        store.delete(&mgr.mem_file_name(7, 0, if lose_own { 0 } else { 1 }));
+        let r = resolve_latest(&store, &mgr, CkptMode::Buddy, 0, 2).expect("buddy resolves");
+        prop_assert_eq!(&r.ckpt, &ckpt);
+        // Partnerless rank (2 of 3): the spill file on the PFS.
+        let spill = Checkpoint::new(2, 7).with_section("s", Bytes::from(payload));
+        store.put(&mgr.file_name(7, 2), spill.encode());
+        let r = resolve_latest(&store, &mgr, CkptMode::Buddy, 2, 3).expect("spill resolves");
+        prop_assert_eq!(r.ckpt, spill);
+    }
+}

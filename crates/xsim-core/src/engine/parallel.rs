@@ -281,16 +281,12 @@ fn worker_loop(
                             bits &= bits - 1;
                             let mut slot = sync.slots[s][src].lock();
                             prof.batched_events += slot.len() as u64;
-                            prof.batch_max_events =
-                                prof.batch_max_events.max(slot.len() as u64);
+                            prof.batch_max_events = prof.batch_max_events.max(slot.len() as u64);
                             // drain() keeps the slot's capacity: the buffer
                             // returns to the arena for the producer to swap
                             // into next window.
                             for ev in slot.drain(..) {
-                                debug_assert!(
-                                    k.owns(ev.key.dst),
-                                    "exchange misrouted an event"
-                                );
+                                debug_assert!(k.owns(ev.key.dst), "exchange misrouted an event");
                                 k.queue.push(ev);
                             }
                         }
@@ -401,8 +397,7 @@ fn worker_loop(
                     }
                 }
                 if budget_limited {
-                    let total =
-                        sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
+                    let total = sync.events.fetch_add(processed, Ordering::Relaxed) + processed;
                     if total > cfg.max_events {
                         sync.budget_window.fetch_min(window, Ordering::Relaxed);
                     }

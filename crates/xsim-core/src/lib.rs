@@ -54,11 +54,11 @@ pub mod time;
 pub mod vp;
 
 pub use config::{CoreConfig, EngineKind, LookaheadProvider};
-pub use queue::{EventQueue, QueueImpl, QueueStats};
 pub use ctx::{block, current_rank, now, sleep, with_kernel, yield_now};
 pub use error::SimError;
 pub use event::{Action, CallFn, EventKey, EventRec};
 pub use kernel::Kernel;
+pub use queue::{EventQueue, QueueImpl, QueueStats};
 pub use rank::Rank;
 pub use report::{EngineProfile, ExitKind, ShardStats, SimReport, VpTimingStats};
 pub use rng::DetRng;

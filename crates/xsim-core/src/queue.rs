@@ -664,8 +664,7 @@ mod tests {
                 for &i in p {
                     q.push(clone_ev(&evs[i]));
                 }
-                let got: Vec<EventKey> =
-                    std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+                let got: Vec<EventKey> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
                 assert_eq!(got, reference, "permutation {p:?} reordered ties");
             }
         }
@@ -734,9 +733,9 @@ mod tests {
             if r % 100 < 60 {
                 // Push: mostly near-future, some colliding, some far.
                 let dt = match r % 10 {
-                    0..=5 => r % 2_000,          // dense near-future
-                    6..=7 => 0,                  // exact-time collision
-                    8 => (r >> 8) % 1_000_000,   // mid-range
+                    0..=5 => r % 2_000,            // dense near-future
+                    6..=7 => 0,                    // exact-time collision
+                    8 => (r >> 8) % 1_000_000,     // mid-range
                     _ => (r >> 8) % 4_000_000_000, // far overflow
                 };
                 seq += 1;

@@ -213,9 +213,15 @@ impl VpTable {
 
     /// Iterate `(rank, handle)` over every VP in the table.
     pub fn iter(&self) -> impl Iterator<Item = (Rank, VpRef<'_>)> {
-        self.owned
-            .clone()
-            .map(move |r| (Rank::new(r), VpRef { t: self, i: r - self.owned.start }))
+        self.owned.clone().map(move |r| {
+            (
+                Rank::new(r),
+                VpRef {
+                    t: self,
+                    i: r - self.owned.start,
+                },
+            )
+        })
     }
 }
 
@@ -446,7 +452,11 @@ impl fmt::Debug for VpRef<'_> {
 
 impl fmt::Debug for VpMut<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        VpRef { t: self.t, i: self.i }.fmt(f)
+        VpRef {
+            t: self.t,
+            i: self.i,
+        }
+        .fmt(f)
     }
 }
 

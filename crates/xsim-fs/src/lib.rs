@@ -36,6 +36,10 @@ use xsim_core::{ctx, Rank, SimTime};
 use xsim_obs::service as obs;
 use xsim_obs::{ids, ObsSpan};
 
+pub mod pfs;
+
+pub use pfs::{file_hash, PfsModel, PfsState};
+
 /// Errors surfaced by simulated file system operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsError {
@@ -273,13 +277,19 @@ impl FsStore {
 /// The I/O cost model.
 #[derive(Debug, Clone, Copy)]
 pub struct FsModel {
-    /// Fixed metadata cost per operation (open/create/stat/unlink).
+    /// Fixed metadata cost per operation (open/create/stat/unlink),
+    /// charged client-side.
     pub meta_latency: SimTime,
     /// Per-rank write bandwidth, bytes/s (aggregate contention is not
-    /// modeled by default — see the crate docs on determinism).
+    /// modeled — see the crate docs on determinism). Ignored when a
+    /// striped [`PfsModel`] is configured.
     pub write_bw: f64,
-    /// Per-rank read bandwidth, bytes/s.
+    /// Per-rank read bandwidth, bytes/s. Ignored when `pfs` is set.
     pub read_bw: f64,
+    /// Striped PFS extension: when set, transfers are striped across
+    /// simulated I/O nodes and contend FCFS per node (see [`pfs`]),
+    /// instead of charging the flat per-rank bandwidths above.
+    pub pfs: Option<PfsModel>,
 }
 
 impl FsModel {
@@ -291,16 +301,32 @@ impl FsModel {
             meta_latency: SimTime::ZERO,
             write_bw: f64::INFINITY,
             read_bw: f64::INFINITY,
+            pfs: None,
         }
     }
 
     /// A representative parallel file system share: 50 µs metadata
-    /// latency, 1 GB/s per-rank write, 2 GB/s per-rank read.
+    /// latency, 1 GB/s per-rank write, 2 GB/s per-rank read, no
+    /// cross-rank contention.
     pub fn typical_pfs() -> Self {
         FsModel {
             meta_latency: SimTime::from_micros(50),
             write_bw: 1.0e9,
             read_bw: 2.0e9,
+            pfs: None,
+        }
+    }
+
+    /// A contended, striped PFS: `io_nodes` simulated I/O servers with
+    /// [`PfsModel::typical`] per-node parameters, 50 µs client-side
+    /// metadata latency. Transit is derived from the network model by
+    /// the builder.
+    pub fn striped(io_nodes: u32) -> Self {
+        FsModel {
+            meta_latency: SimTime::from_micros(50),
+            write_bw: f64::INFINITY,
+            read_bw: f64::INFINITY,
+            pfs: Some(PfsModel::typical(io_nodes)),
         }
     }
 
@@ -309,6 +335,7 @@ impl FsModel {
         self.meta_latency == SimTime::ZERO
             && self.write_bw.is_infinite()
             && self.read_bw.is_infinite()
+            && self.pfs.is_none()
     }
 
     fn xfer(bytes: usize, bw: f64) -> SimTime {
@@ -331,18 +358,39 @@ impl FsModel {
 }
 
 /// Kernel service giving VPs access to the store and cost model. Install
-/// one per shard (they share the same `Arc<FsStore>`).
+/// one per shard (they share the same `Arc<FsStore>`, and — when a
+/// striped PFS is configured — the same `Arc<PfsState>`).
 pub struct FsService {
     /// The shared store.
     pub store: Arc<FsStore>,
     /// The cost model.
     pub model: FsModel,
+    /// Shared I/O-server state; `Some` iff `model.pfs` is. Every shard
+    /// of one run must hold the *same* instance (see
+    /// [`FsService::shared_pfs`]).
+    pub pfs: Option<Arc<PfsState>>,
 }
 
 impl FsService {
-    /// Create a service over a shared store.
+    /// Create a service over a shared store. Creates its own PFS server
+    /// state when the model calls for one — fine for single-shard runs;
+    /// multi-shard builders must share state via
+    /// [`with_pfs`](Self::with_pfs).
     pub fn new(store: Arc<FsStore>, model: FsModel) -> Self {
-        FsService { store, model }
+        let pfs = Self::shared_pfs(&model);
+        FsService { store, model, pfs }
+    }
+
+    /// Create a service sharing pre-built PFS server state (one
+    /// instance per run, cloned into every shard).
+    pub fn with_pfs(store: Arc<FsStore>, model: FsModel, pfs: Option<Arc<PfsState>>) -> Self {
+        debug_assert_eq!(model.pfs.is_some(), pfs.is_some());
+        FsService { store, model, pfs }
+    }
+
+    /// Build the per-run shared PFS server state for a model.
+    pub fn shared_pfs(model: &FsModel) -> Option<Arc<PfsState>> {
+        model.pfs.map(|p| Arc::new(PfsState::new(p)))
     }
 }
 
@@ -351,22 +399,30 @@ impl FsService {
 /// state.
 pub async fn write(name: &str, data: Bytes) -> Result<(), FsError> {
     let nbytes = data.len() as u64;
-    let (cost, store, t0) = ctx::with_kernel(|k, rank| {
+    let (cost, striped, store, t0) = ctx::with_kernel(|k, rank| {
         let svc = k.service::<FsService>();
-        let cost = svc.model.write_time(data.len());
+        let striped = svc.model.pfs;
+        let cost = if striped.is_some() {
+            svc.model.meta_latency
+        } else {
+            svc.model.write_time(data.len())
+        };
         let store = svc.store.clone();
         let t0 = obs::enabled(k).then(|| k.vp(rank).clock());
         if let Err(e) = store.check_fault(name, IoFaultKind::Write, rank) {
             obs::record(k, ids::FS_FAULTS_INJECTED, 1);
             return Err(e);
         }
-        if cost > SimTime::ZERO {
+        if cost > SimTime::ZERO || striped.is_some() {
             store.begin_write(name);
         }
-        Ok::<_, FsError>((cost, store, t0))
+        Ok::<_, FsError>((cost, striped, store, t0))
     })?;
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
+    }
+    if let Some(p) = striped {
+        pfs::transfer(p, nbytes, file_hash(name), true).await;
     }
     store.commit_write(name, data);
     note_io(
@@ -384,7 +440,7 @@ pub async fn write(name: &str, data: Bytes) -> Result<(), FsError> {
 /// (corrupted) files are returned as [`FileState::Partial`] so callers
 /// can implement corruption detection.
 pub async fn read(name: &str) -> Result<FileState, FsError> {
-    let (state, cost, t0) = ctx::with_kernel(|k, rank| {
+    let (state, cost, striped, t0) = ctx::with_kernel(|k, rank| {
         let svc = k.service::<FsService>();
         let store = svc.store.clone();
         let model = svc.model;
@@ -394,11 +450,19 @@ pub async fn read(name: &str) -> Result<FileState, FsError> {
             return Err(e);
         }
         let state = store.get(name).ok_or(FsError::NotFound)?;
-        let cost = model.read_time(state.bytes().len());
-        Ok::<_, FsError>((state, cost, t0))
+        let striped = model.pfs;
+        let cost = if striped.is_some() {
+            model.meta_latency
+        } else {
+            model.read_time(state.bytes().len())
+        };
+        Ok::<_, FsError>((state, cost, striped, t0))
     })?;
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
+    }
+    if let Some(p) = striped {
+        pfs::transfer(p, state.bytes().len() as u64, file_hash(name), false).await;
     }
     let nbytes = state.bytes().len() as u64;
     note_io(
@@ -437,12 +501,28 @@ pub async fn delete(name: &str) -> Result<bool, FsError> {
 /// (e.g. the heat application in modeled-compute mode charges the cost
 /// of its full grid checkpoint while persisting only a state token).
 pub async fn charge_write(bytes: usize) {
-    let (cost, t0) = ctx::with_kernel(|k, rank| {
-        let cost = k.service::<FsService>().model.write_time(bytes);
-        (cost, obs::enabled(k).then(|| k.vp(rank).clock()))
+    let (cost, striped, hash, t0) = ctx::with_kernel(|k, rank| {
+        let model = k.service::<FsService>().model;
+        let striped = model.pfs;
+        let cost = if striped.is_some() {
+            model.meta_latency
+        } else {
+            model.write_time(bytes)
+        };
+        (
+            cost,
+            striped,
+            // Synthetic placement hash: spread the ranks' unnamed
+            // transfers across home nodes like distinct files would.
+            PfsModel::placement_hash(rank.idx() as u32),
+            obs::enabled(k).then(|| k.vp(rank).clock()),
+        )
     });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
+    }
+    if let Some(p) = striped {
+        pfs::transfer(p, bytes as u64, hash, true).await;
     }
     note_io(
         t0,
@@ -456,12 +536,26 @@ pub async fn charge_write(bytes: usize) {
 
 /// Charge the I/O time of reading `bytes` without reading anything.
 pub async fn charge_read(bytes: usize) {
-    let (cost, t0) = ctx::with_kernel(|k, rank| {
-        let cost = k.service::<FsService>().model.read_time(bytes);
-        (cost, obs::enabled(k).then(|| k.vp(rank).clock()))
+    let (cost, striped, hash, t0) = ctx::with_kernel(|k, rank| {
+        let model = k.service::<FsService>().model;
+        let striped = model.pfs;
+        let cost = if striped.is_some() {
+            model.meta_latency
+        } else {
+            model.read_time(bytes)
+        };
+        (
+            cost,
+            striped,
+            PfsModel::placement_hash(rank.idx() as u32),
+            obs::enabled(k).then(|| k.vp(rank).clock()),
+        )
     });
     if cost > SimTime::ZERO {
         fs_sleep(cost).await;
+    }
+    if let Some(p) = striped {
+        pfs::transfer(p, bytes as u64, hash, false).await;
     }
     note_io(
         t0,

@@ -16,6 +16,7 @@ fn write_read_delete_charge_virtual_time() {
             meta_latency: SimTime::from_millis(1),
             write_bw: 1.0e6, // 1 MB/s
             read_bw: 2.0e6,
+            pfs: None,
         });
     let store = builder.store();
     let report = builder
@@ -57,6 +58,7 @@ fn failure_mid_write_leaves_partial_file() {
             meta_latency: SimTime::from_millis(1),
             write_bw: 1.0e6, // 1 s for 1 MB → wide failure window
             read_bw: 1.0e9,
+            pfs: None,
         })
         // Fails 200 ms into the 1 s transfer. File I/O waits are
         // clock-updating, so with the default strict semantics the
@@ -111,6 +113,7 @@ fn charge_write_costs_time_without_storing() {
             meta_latency: SimTime::ZERO,
             write_bw: 1.0e6,
             read_bw: 1.0e6,
+            pfs: None,
         });
     let store = builder.store();
     let report = builder

@@ -390,7 +390,7 @@ impl SimBuilder {
     }
 
     /// Run an arbitrary [`VpProgram`].
-    pub fn run(self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
+    pub fn run(mut self, program: Arc<dyn VpProgram>) -> Result<RunReport, SimError> {
         self.net.validate(self.n_ranks).map_err(SimError::Config)?;
         let mut net = if self.net_faults.is_empty() {
             self.net
@@ -417,6 +417,23 @@ impl SimBuilder {
         let lookahead = net.min_latency();
         let notify_delay = self.notify_delay.unwrap_or(lookahead).max(lookahead);
         let start_time = self.start_time;
+
+        // Striped-PFS transit rides the interconnect: derive it from the
+        // network model when unset, and reject anything below the engine
+        // lookahead — PFS arrival/completion events cross shards, so
+        // they must clear the conservative window bound.
+        if let Some(mut pfs) = self.fs_model.pfs {
+            if pfs.transit == SimTime::ZERO {
+                pfs.transit = lookahead;
+                self.fs_model.pfs = Some(pfs);
+            }
+            if pfs.transit < lookahead {
+                return Err(SimError::Config(format!(
+                    "PFS transit {:?} is below the network lookahead {:?}",
+                    pfs.transit, lookahead
+                )));
+            }
+        }
 
         let mut cfg = CoreConfig {
             n_ranks: self.n_ranks,
@@ -453,19 +470,32 @@ impl SimBuilder {
             // the provider when that beats the static floor; the engine
             // takes max(lookahead, provider) per window either way.
             let rps = cfg.ranks_per_shard();
-            let cross = world.net.cross_shard_lookahead(rps).min(notify_delay);
+            // PFS server traffic is only delayed by the transit time, so
+            // it clamps the adaptive bound alongside notify_delay.
+            let pfs_transit = self.fs_model.pfs.map(|p| p.transit).unwrap_or(SimTime::MAX);
+            let cross = world
+                .net
+                .cross_shard_lookahead(rps)
+                .min(notify_delay)
+                .min(pfs_transit);
             if cross > lookahead {
                 let world = world.clone();
                 cfg.lookahead_fn = Some(LookaheadProvider::new(move |_lbts| {
                     // Queried each window against the live model: faults
                     // only lengthen routes, so this stays conservative.
-                    world.net.cross_shard_lookahead(rps).min(world.notify_delay)
+                    world
+                        .net
+                        .cross_shard_lookahead(rps)
+                        .min(world.notify_delay)
+                        .min(pfs_transit)
                 }));
             }
         }
         let stats_sink = Arc::new(Mutex::new(MpiStats::default()));
         let fs_store = self.fs_store;
         let fs_model = self.fs_model;
+        // One I/O-server state per run, shared by every shard's service.
+        let pfs_state = FsService::shared_pfs(&fs_model);
         let failures = self.failures;
         let setup_hooks = self.setup_hooks;
         let power_model = self.power;
@@ -488,7 +518,11 @@ impl SimBuilder {
                     owned.clone(),
                     stats_sink.clone(),
                 ));
-                k.install_service(FsService::new(fs_store.clone(), fs_model));
+                k.install_service(FsService::with_pfs(
+                    fs_store.clone(),
+                    fs_model,
+                    pfs_state.clone(),
+                ));
                 if power_model.is_some() {
                     k.install_service(PowerService::new(world.n_ranks, busy_sink.clone()));
                 }
@@ -550,8 +584,7 @@ impl SimBuilder {
                 .add(metric_ids::ENGINE_BATCHED_EVENTS, p.batched_events);
             m.set.add(metric_ids::ENGINE_BATCH_MAX, p.batch_max_events);
             m.set.add(metric_ids::ENGINE_INGEST_SKIPS, p.ingest_skips);
-            m.set
-                .add(metric_ids::ENGINE_STEAL_HWM, p.window_steal_hwm);
+            m.set.add(metric_ids::ENGINE_STEAL_HWM, p.window_steal_hwm);
             m.set
                 .add(metric_ids::ENGINE_BARRIER_HWM_NS, p.window_barrier_hwm_ns);
             m.set.add(

@@ -76,11 +76,24 @@ impl ReduceOp {
 
 /// `(my communicator rank, communicator size, next collective tag)`.
 fn coll_begin(comm: CommId) -> Result<(usize, usize, u32), MpiError> {
+    coll_begin_counted(comm, true)
+}
+
+/// `coll_begin` for the inner phase of a composite collective (the tree
+/// barrier's release broadcast): takes a fresh tag but does not count an
+/// extra user-facing operation.
+fn coll_begin_nested(comm: CommId) -> Result<(usize, usize, u32), MpiError> {
+    coll_begin_counted(comm, false)
+}
+
+fn coll_begin_counted(comm: CommId, count: bool) -> Result<(usize, usize, u32), MpiError> {
     ctx::with_kernel(|k, me| {
         let svc = k.service_mut::<MpiService>();
         let rm = svc.rank_mut(me);
         p2p::entry_checks(rm, comm)?;
-        rm.stats.collectives += 1;
+        if count {
+            rm.stats.collectives += 1;
+        }
         let view = rm.comms.view_mut(comm).expect("checked");
         view.coll_seq += 1;
         let tag = COLL_TAG_BASE + (view.coll_seq as u32 & (COLL_TAG_BASE - 1));
@@ -354,6 +367,17 @@ pub async fn allreduce_u64(comm: CommId, data: &[u64], op: ReduceOp) -> Result<V
 /// linear algorithm's O(P) serialized sends at the root.
 pub async fn bcast_tree(comm: CommId, root: usize, data: Bytes) -> Result<Bytes, MpiError> {
     let (me, size, tag) = coll_begin(comm)?;
+    bcast_tree_rounds(comm, root, data, me, size, tag).await
+}
+
+async fn bcast_tree_rounds(
+    comm: CommId,
+    root: usize,
+    data: Bytes,
+    me: usize,
+    size: usize,
+    tag: u32,
+) -> Result<Bytes, MpiError> {
     if size <= 1 {
         return Ok(data);
     }
@@ -407,8 +431,11 @@ pub async fn barrier_tree(comm: CommId) -> Result<(), MpiError> {
         }
         bit <<= 1;
     }
-    // Release phase: reuse the tree bcast shape with a fresh tag.
-    bcast_tree(comm, 0, Bytes::new()).await?;
+    // Release phase: reuse the tree bcast shape with a fresh tag. The
+    // phase is internal to this barrier, so it does not count as a
+    // second collective (a tree barrier must tally like a linear one).
+    let (me, size, tag) = coll_begin_nested(comm)?;
+    bcast_tree_rounds(comm, 0, Bytes::new(), me, size, tag).await?;
     Ok(())
 }
 

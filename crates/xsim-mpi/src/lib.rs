@@ -48,7 +48,8 @@ pub use error::{ErrHandler, MpiError};
 pub use mpi_ctx::{mpi_program, MpiCtx};
 pub use redundancy::{Redundant, Verdict};
 pub use replication::{
-    HeartbeatConfig, ProtectionParseError, ProtectionScheme, RepReq, ReplicaMap, Replicated,
+    CkptMode, HeartbeatConfig, ProtectionParseError, ProtectionScheme, RepReq, ReplicaMap,
+    Replicated,
 };
 pub use request::{RecvOut, ReqId};
 pub use state::{CollAlgo, Detector, LossyTransport, MpiStats, MpiWorld, TxOutcome};

@@ -79,6 +79,54 @@ fn rep_tag(seq: u64) -> u32 {
 // Protection schemes
 // ---------------------------------------------------------------------
 
+/// How checkpoint/restart writes its generations (Kohl et al.'s
+/// scalable-checkpointing modes, layered on the striped PFS model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptMode {
+    /// Every rank writes its own full checkpoint file each generation.
+    #[default]
+    Full,
+    /// Rank-group coalescing: members forward their state to an elected
+    /// aggregator (the lowest rank of each `group`-sized block), which
+    /// writes one container file per group — trading intra-group
+    /// messages for far fewer PFS requests.
+    Aggregated {
+        /// Ranks per aggregation group (≥ 2).
+        group: usize,
+    },
+    /// In-memory buddy checkpointing: each rank keeps its checkpoint in
+    /// a node-local tier on itself *and* its partner (`rank ^ 1`);
+    /// nothing touches the PFS unless a rank has no partner (odd world
+    /// sizes spill to a full PFS checkpoint). Node-local copies survive
+    /// restarts but die with the rank's node.
+    Buddy,
+    /// Incremental checkpointing: every `full_every`-th generation is a
+    /// full checkpoint, the ones between are block diffs against the
+    /// immediately preceding generation; restore replays full + diffs.
+    Incremental {
+        /// Cadence of full checkpoints (≥ 1; 1 degenerates to `Full`).
+        full_every: u64,
+    },
+}
+
+impl CkptMode {
+    /// Default aggregation group size for `cr:agg`.
+    pub const DEFAULT_GROUP: usize = 8;
+    /// Default full-checkpoint cadence for `cr:incr`.
+    pub const DEFAULT_FULL_EVERY: u64 = 4;
+}
+
+impl fmt::Display for CkptMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptMode::Full => write!(f, "full"),
+            CkptMode::Aggregated { group } => write!(f, "agg:{group}"),
+            CkptMode::Buddy => write!(f, "buddy"),
+            CkptMode::Incremental { full_every } => write!(f, "incr:{full_every}"),
+        }
+    }
+}
+
 /// The resilience scheme protecting a run — the `--protection` /
 /// `XSIM_PROTECTION` axis of the FIT × scheme ablation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +134,10 @@ pub enum ProtectionScheme {
     /// No protection: a failure aborts the run; restart from scratch.
     None,
     /// Checkpoint/restart only (the paper's technique of record).
-    CheckpointRestart,
+    CheckpointRestart {
+        /// How checkpoint generations are written.
+        mode: CkptMode,
+    },
     /// Full replication: every logical rank backed by `degree` replicas.
     Replication {
         /// Replication degree (≥ 2).
@@ -130,6 +181,16 @@ impl ProtectionScheme {
                 *degree
             }
             _ => 1,
+        }
+    }
+
+    /// The checkpoint mode the scheme's C/R component uses
+    /// ([`CkptMode::Full`] for every non-`cr` scheme — replication's
+    /// fallback checkpoints stay plain full files).
+    pub fn ckpt_mode(&self) -> CkptMode {
+        match self {
+            ProtectionScheme::CheckpointRestart { mode } => *mode,
+            _ => CkptMode::Full,
         }
     }
 
@@ -183,25 +244,105 @@ fn parse_critical(s: &str) -> Result<BTreeSet<usize>, ProtectionParseError> {
 impl FromStr for ProtectionScheme {
     type Err = ProtectionParseError;
 
-    /// Parse `none` | `cr` | `replication[:DEGREE]` |
-    /// `partial[:DEGREE[:SET]]` where `SET` is `+`-separated ranks and
-    /// `A-B` ranges (e.g. `partial:2:0-3+8`). A partial scheme without a
-    /// set defaults to logical rank 0 (callers usually override).
+    /// Parse `none` | `cr[:MODE[:PARAM]]` | `replication[:DEGREE]` |
+    /// `partial[:DEGREE[:SET]]`.
+    ///
+    /// `MODE` selects the checkpoint mode: `full` (default),
+    /// `agg[:GROUP]` (aggregated writes, default group 8),
+    /// `buddy` (in-memory partner copies), `incr[:K]` (incremental with
+    /// a full checkpoint every `K` generations, default 4) — e.g.
+    /// `cr:buddy`, `cr:incr:4`, `cr:agg:16`.
+    ///
+    /// `SET` is `+`-separated ranks and `A-B` ranges (e.g.
+    /// `partial:2:0-3+8`). A partial scheme without a set defaults to
+    /// logical rank 0 (callers usually override).
     fn from_str(s: &str) -> Result<Self, ProtectionParseError> {
         let mut parts = s.trim().split(':');
         let kind = parts.next().unwrap_or("").trim().to_ascii_lowercase();
-        let degree = match parts.next() {
-            Some(d) => d
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| ProtectionParseError(format!("bad degree in '{s}'")))?,
-            None => 2,
-        };
         let scheme = match kind.as_str() {
             "none" => ProtectionScheme::None,
-            "cr" | "checkpoint" | "checkpoint-restart" => ProtectionScheme::CheckpointRestart,
-            "replication" | "rep" | "full" => ProtectionScheme::Replication { degree },
+            "cr" | "checkpoint" | "checkpoint-restart" => {
+                let mode = match parts.next().map(|m| m.trim().to_ascii_lowercase()) {
+                    None => CkptMode::Full,
+                    Some(m) => {
+                        let param = parts.next();
+                        let parse_param = |default: u64| -> Result<u64, ProtectionParseError> {
+                            match param {
+                                Some(p) => p.trim().parse::<u64>().map_err(|_| {
+                                    ProtectionParseError(format!("bad mode parameter in '{s}'"))
+                                }),
+                                None => Ok(default),
+                            }
+                        };
+                        match m.as_str() {
+                            "full" => {
+                                if param.is_some() {
+                                    return Err(ProtectionParseError(format!(
+                                        "cr:full takes no parameter in '{s}'"
+                                    )));
+                                }
+                                CkptMode::Full
+                            }
+                            "agg" | "aggregated" => {
+                                let group = parse_param(CkptMode::DEFAULT_GROUP as u64)? as usize;
+                                if group < 2 {
+                                    return Err(ProtectionParseError(
+                                        "aggregation group must be >= 2".into(),
+                                    ));
+                                }
+                                CkptMode::Aggregated { group }
+                            }
+                            "buddy" => {
+                                if param.is_some() {
+                                    return Err(ProtectionParseError(format!(
+                                        "cr:buddy takes no parameter in '{s}'"
+                                    )));
+                                }
+                                CkptMode::Buddy
+                            }
+                            "incr" | "incremental" => {
+                                let full_every = parse_param(CkptMode::DEFAULT_FULL_EVERY)?;
+                                if full_every == 0 {
+                                    return Err(ProtectionParseError(
+                                        "incremental cadence must be >= 1".into(),
+                                    ));
+                                }
+                                CkptMode::Incremental { full_every }
+                            }
+                            other => {
+                                return Err(ProtectionParseError(format!(
+                                "unknown checkpoint mode '{other}' (expected full|agg|buddy|incr)"
+                            )))
+                            }
+                        }
+                    }
+                };
+                ProtectionScheme::CheckpointRestart { mode }
+            }
+            "replication" | "rep" | "full" => {
+                let degree = match parts.next() {
+                    Some(d) => d
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| ProtectionParseError(format!("bad degree in '{s}'")))?,
+                    None => 2,
+                };
+                if degree < 2 {
+                    return Err(ProtectionParseError("degree must be >= 2".into()));
+                }
+                ProtectionScheme::Replication { degree }
+            }
             "partial" => {
+                let degree = match parts.next() {
+                    Some(d) => d
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| ProtectionParseError(format!("bad degree in '{s}'")))?,
+                    None => 2,
+                };
+                if degree < 2 {
+                    return Err(ProtectionParseError("degree must be >= 2".into()));
+                }
                 let critical = match parts.next() {
                     Some(set) => parse_critical(set)?,
                     None => BTreeSet::from([0]),
@@ -214,9 +355,6 @@ impl FromStr for ProtectionScheme {
                 )))
             }
         };
-        if scheme.is_replicated() && degree < 2 {
-            return Err(ProtectionParseError("degree must be >= 2".into()));
-        }
         if parts.next().is_some() {
             return Err(ProtectionParseError(format!("trailing fields in '{s}'")));
         }
@@ -228,7 +366,10 @@ impl fmt::Display for ProtectionScheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtectionScheme::None => write!(f, "none"),
-            ProtectionScheme::CheckpointRestart => write!(f, "cr"),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Full,
+            } => write!(f, "cr"),
+            ProtectionScheme::CheckpointRestart { mode } => write!(f, "cr:{mode}"),
             ProtectionScheme::Replication { degree } => write!(f, "replication:{degree}"),
             ProtectionScheme::Partial { degree, critical } => {
                 write!(f, "partial:{degree}:")?;
@@ -938,7 +1079,45 @@ mod tests {
         );
         assert_eq!(
             "cr".parse::<ProtectionScheme>().unwrap(),
-            ProtectionScheme::CheckpointRestart
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Full
+            }
+        );
+        assert_eq!(
+            "cr:full".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Full
+            }
+        );
+        assert_eq!(
+            "cr:agg".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Aggregated { group: 8 }
+            }
+        );
+        assert_eq!(
+            "cr:agg:16".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Aggregated { group: 16 }
+            }
+        );
+        assert_eq!(
+            "cr:buddy".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Buddy
+            }
+        );
+        assert_eq!(
+            "cr:incr".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Incremental { full_every: 4 }
+            }
+        );
+        assert_eq!(
+            "cr:incr:6".parse::<ProtectionScheme>().unwrap(),
+            ProtectionScheme::CheckpointRestart {
+                mode: CkptMode::Incremental { full_every: 6 }
+            }
         );
         assert_eq!(
             "replication".parse::<ProtectionScheme>().unwrap(),
@@ -957,7 +1136,15 @@ mod tests {
             }
         );
         // Display round-trips.
-        for s in ["none", "cr", "replication:2", "partial:2:0-2+5"] {
+        for s in [
+            "none",
+            "cr",
+            "cr:agg:8",
+            "cr:buddy",
+            "cr:incr:4",
+            "replication:2",
+            "partial:2:0-2+5",
+        ] {
             let parsed: ProtectionScheme = s.parse().unwrap();
             assert_eq!(
                 parsed.to_string().parse::<ProtectionScheme>().unwrap(),
@@ -969,6 +1156,12 @@ mod tests {
         assert!("partial:2:".parse::<ProtectionScheme>().is_err());
         assert!("partial:2:3-1".parse::<ProtectionScheme>().is_err());
         assert!("replication:2:extra".parse::<ProtectionScheme>().is_err());
+        assert!("cr:bogus".parse::<ProtectionScheme>().is_err());
+        assert!("cr:agg:1".parse::<ProtectionScheme>().is_err());
+        assert!("cr:incr:0".parse::<ProtectionScheme>().is_err());
+        assert!("cr:full:3".parse::<ProtectionScheme>().is_err());
+        assert!("cr:buddy:2".parse::<ProtectionScheme>().is_err());
+        assert!("cr:incr:4:extra".parse::<ProtectionScheme>().is_err());
     }
 
     #[test]

@@ -122,6 +122,10 @@ pub const SIZE_BUCKETS: &[u64] = &[
     16 << 20,
 ];
 
+/// Restore-chain-length buckets: powers of two from 1 to 64 replayed
+/// files (a chain longer than 64 means a misconfigured full cadence).
+pub const CHAIN_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+
 /// Latency buckets (virtual ns): decades from 1 µs to 100 s.
 pub const LATENCY_BUCKETS: &[u64] = &[
     1_000,
@@ -266,6 +270,31 @@ pub mod ids {
     /// High-water mark of a single calendar-queue bucket (volatile:
     /// bucket occupancy depends on the shard partition).
     pub const ENGINE_QUEUE_BUCKET_HWM: usize = 50;
+    /// Stripe requests served by the simulated PFS I/O nodes (one per
+    /// involved node per striped transfer).
+    pub const FS_STRIPE_REQS: usize = 51;
+    /// Bytes landed on PFS I/O nodes by striped transfers.
+    pub const FS_STRIPE_BYTES: usize = 52;
+    /// Per-request queueing delay at a PFS I/O node before service
+    /// starts (virtual ns) — the visible face of I/O contention.
+    pub const FS_STRIPE_QUEUE_NS: usize = 53;
+    /// Group gathers performed by aggregated-checkpoint aggregators
+    /// (one per container file written).
+    pub const CKPT_AGG_GATHERS: usize = 54;
+    /// Bytes checkpoint group members forwarded to their aggregator.
+    pub const CKPT_AGG_FORWARD_BYTES: usize = 55;
+    /// Partner copies stored in the node-local tier by buddy
+    /// checkpointing.
+    pub const CKPT_BUDDY_COPIES: usize = 56;
+    /// Buddy checkpoints spilled to the PFS (partnerless rank).
+    pub const CKPT_BUDDY_SPILLS: usize = 57;
+    /// Dirty blocks carried by incremental (diff) checkpoints.
+    pub const CKPT_DIFF_BLOCKS: usize = 58;
+    /// Incremental (diff) checkpoint generations written.
+    pub const CKPT_DIFF_WRITES: usize = 59;
+    /// Restore-chain length distribution: files replayed per restored
+    /// rank state (1 = plain full checkpoint, k+1 = full + k diffs).
+    pub const CKPT_RESTORE_CHAIN: usize = 60;
 }
 
 /// The metric schema, indexed by [`ids`].
@@ -326,6 +355,20 @@ pub const SPEC: &[MetricDef] = &[
     MetricDef::gauge("engine.window.barrier_wait_hwm_ns", Unit::Nanos).volatile(),
     MetricDef::gauge("engine.pool.reuse_ratio", Unit::Count).volatile(),
     MetricDef::gauge("engine.queue.bucket_hwm", Unit::Count).volatile(),
+    // PFS striping + checkpoint-mode metrics. All are deterministic
+    // virtual-behavior counts (part of the to_json(None) surface): the
+    // stripe queue delays are fixed by the FCFS event order, which the
+    // engines reproduce identically.
+    MetricDef::counter("fs.stripe.requests", Unit::Count),
+    MetricDef::counter("fs.stripe.bytes", Unit::Bytes),
+    MetricDef::histogram("fs.stripe.queue_ns", Unit::Nanos, LATENCY_BUCKETS),
+    MetricDef::counter("ckpt.mode.agg_gathers", Unit::Count),
+    MetricDef::counter("ckpt.mode.agg_forward_bytes", Unit::Bytes),
+    MetricDef::counter("ckpt.mode.buddy_copies", Unit::Count),
+    MetricDef::counter("ckpt.mode.buddy_spills", Unit::Count),
+    MetricDef::counter("ckpt.mode.diff_blocks", Unit::Count),
+    MetricDef::counter("ckpt.mode.diff_writes", Unit::Count),
+    MetricDef::histogram("ckpt.mode.restore_chain", Unit::Count, CHAIN_BUCKETS),
 ];
 
 /// A filled histogram.
@@ -515,7 +558,7 @@ mod tests {
 
     #[test]
     fn spec_ids_line_up() {
-        assert_eq!(SPEC.len(), ids::ENGINE_QUEUE_BUCKET_HWM + 1);
+        assert_eq!(SPEC.len(), ids::CKPT_RESTORE_CHAIN + 1);
         assert_eq!(SPEC[ids::NET_MSGS_EAGER].name, "net.msgs_eager");
         assert_eq!(SPEC[ids::MPI_UNEXPECTED_HWM].kind, MetricKind::Gauge);
         assert_eq!(SPEC[ids::FS_WRITE_NS].kind, MetricKind::Histogram);
@@ -537,8 +580,25 @@ mod tests {
             SPEC[ids::ENGINE_BARRIER_HWM_NS].name,
             "engine.window.barrier_wait_hwm_ns"
         );
-        assert_eq!(SPEC[ids::ENGINE_POOL_REUSE_RATIO].name, "engine.pool.reuse_ratio");
-        assert_eq!(SPEC[ids::ENGINE_QUEUE_BUCKET_HWM].name, "engine.queue.bucket_hwm");
+        assert_eq!(
+            SPEC[ids::ENGINE_POOL_REUSE_RATIO].name,
+            "engine.pool.reuse_ratio"
+        );
+        assert_eq!(
+            SPEC[ids::ENGINE_QUEUE_BUCKET_HWM].name,
+            "engine.queue.bucket_hwm"
+        );
+        assert_eq!(SPEC[ids::FS_STRIPE_REQS].name, "fs.stripe.requests");
+        assert_eq!(SPEC[ids::FS_STRIPE_BYTES].unit, Unit::Bytes);
+        assert_eq!(SPEC[ids::FS_STRIPE_QUEUE_NS].kind, MetricKind::Histogram);
+        assert_eq!(SPEC[ids::CKPT_AGG_GATHERS].name, "ckpt.mode.agg_gathers");
+        assert_eq!(SPEC[ids::CKPT_BUDDY_SPILLS].name, "ckpt.mode.buddy_spills");
+        assert_eq!(SPEC[ids::CKPT_DIFF_BLOCKS].name, "ckpt.mode.diff_blocks");
+        assert_eq!(SPEC[ids::CKPT_RESTORE_CHAIN].kind, MetricKind::Histogram);
+        assert_eq!(
+            SPEC[ids::CKPT_RESTORE_CHAIN].name,
+            "ckpt.mode.restore_chain"
+        );
         // Exactly the execution-shape metrics (engine profile + route
         // cache occupancy + event-core pool/queue shape) are volatile;
         // payload accounting is part of the deterministic snapshot.

@@ -126,6 +126,7 @@ fn cmd_heat(map: HashMap<String, String>) {
         mode: ComputeMode::Modeled,
         per_point: SimTime::from_nanos(per_point_ns),
         prefix: "heat".into(),
+        ckpt_mode: Default::default(),
     };
     if let Err(e) = cfg.validate() {
         eprintln!("invalid heat configuration: {e}");

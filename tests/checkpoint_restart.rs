@@ -292,6 +292,7 @@ fn failure_during_checkpoint_phase_leaves_incomplete_set() {
         meta_latency: SimTime::from_millis(1),
         write_bw: 1.0e6, // slow writes → wide checkpoint window
         read_bw: 1.0e9,
+        pfs: None,
     };
     // First, find when the first checkpoint starts: run cleanly.
     let probe = make_builder(cfg.n_ranks()).fs_model(fs_model);
