@@ -1,0 +1,61 @@
+//! Self-gating event-queue churn benchmark: uniform hold-model churn at
+//! the standard pending tiers (1k / 100k / 1M), calendar queue vs. the
+//! binary-heap oracle.
+//!
+//! ```text
+//! cargo run --release -p xsim-bench --bin queue_bench [-- --quick | --ops N]
+//! ```
+//!
+//! Exits non-zero if the calendar queue falls below 1.0× the heap at any
+//! tier (the `ckpt_scaling` regression-gate pattern): ordered per-bucket
+//! insertion is supposed to make the calendar strictly dominate, and CI
+//! smokes this so a hot-path regression fails the build instead of only
+//! discoloring `BENCH_engine.json`. `--quick` trims the timed span for
+//! CI; the tiers and the gate stay the same.
+
+use xsim_bench::{peak_rss_kib, run_queue_tier, QUEUE_TIERS};
+
+fn main() {
+    let mut ops = 200_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => ops = 50_000,
+            "--ops" => {
+                ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N");
+            }
+            other => {
+                eprintln!("unknown flag {other}; known: --quick --ops N");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "{:>10} {:>10} {:>14} {:>16} {:>8}",
+        "pending", "ops", "heap ns/op", "calendar ns/op", "speedup"
+    );
+    let mut gate_ok = true;
+    for pending in QUEUE_TIERS {
+        let tier = run_queue_tier(pending, ops);
+        let speedup = tier.speedup();
+        let flag = if speedup >= 1.0 {
+            ""
+        } else {
+            "  << below heap"
+        };
+        println!(
+            "{:>10} {:>10} {:>14.1} {:>16.1} {:>7.2}x{flag}",
+            tier.pending, tier.ops, tier.heap_ns_per_op, tier.calendar_ns_per_op, speedup
+        );
+        gate_ok &= speedup >= 1.0;
+    }
+    println!(
+        "\npeak RSS: {:.1} MiB",
+        peak_rss_kib().unwrap_or(0) as f64 / 1024.0
+    );
+    if !gate_ok {
+        eprintln!("FAIL: calendar queue below 1.0x heap at a pending tier");
+        std::process::exit(1);
+    }
+}

@@ -43,7 +43,7 @@ fn torus_for(n: usize) -> Topology {
 fn bench_engine() {
     let cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
     let mut json = String::new();
-    json.push_str("{\"schema\":\"xsim-bench-engine-v2\"");
+    json.push_str("{\"schema\":\"xsim-bench-engine-v3\"");
     let _ = write!(
         json,
         ",\"workload\":\"compute_allreduce(rounds=4,elems=64,compute=1ms)\",\"host_cpus\":{cpus}",
@@ -104,60 +104,93 @@ fn bench_engine() {
     }
     json.push(']');
 
-    // The 1M-VP oversubscription row (engine-level ring-of-wakes
-    // workload, see the `million_vp` bin): raw event-core throughput
-    // and host cost per event at the paper's headline VP scale.
-    {
-        let (vps, rounds) = (1usize << 20, 2u32);
-        let (report, wall) = xsim_bench::run_million_vp(vps, 1, rounds);
-        let events = report.events_processed;
-        let evps = events as f64 / wall.as_secs_f64();
-        let us_per_event = wall.as_secs_f64() * 1e6 / events as f64;
-        println!(
-            "{:>10} {:>8} {:>10.2?} {:>12} {:>12.0} {:>11.3}µs/ev",
-            vps, 1, wall, events, evps, us_per_event
-        );
-        let _ = write!(
-            json,
-            ",\"million_vp\":{{\"vps\":{vps},\"workers\":1,\"rounds\":{rounds},\
-             \"events\":{events},\"wall_us\":{},\"events_per_sec\":{evps:.0},\
-             \"host_us_per_event\":{us_per_event:.3}}}",
-            wall.as_micros(),
-        );
-    }
-
     // Event-queue microbench: steady-state hold-model churn, calendar
     // vs. the retired binary-heap oracle, across pending-set sizes. The
     // calendar's O(1) pops are what the worker sweep above rides on.
+    // The self-gating `queue_bench` bin runs the same tiers and fails CI
+    // when the calendar drops below 1.0x at any of them. Measured
+    // *before* the VP-scaling ladder: tens of gigabytes of churn leave
+    // the allocator in a state that slows the calendar's bucket
+    // management (the heap barely allocates), which would discolor the
+    // comparison with a cost no fresh process pays.
     json.push_str(",\"queue_bench\":[");
     println!(
         "\n{:>10} {:>14} {:>14} {:>8}",
         "pending", "heap ns/op", "calendar ns/op", "speedup"
     );
-    for (i, pending) in [1_000usize, 100_000, 1_000_000].into_iter().enumerate() {
-        let ops = 200_000usize;
-        let mut heap = xsim_core::EventQueue::heap();
-        let heap_ns = xsim_bench::queue_churn_ns_per_op(&mut heap, pending, ops);
-        let mut cal = xsim_core::EventQueue::calendar();
-        let cal_ns = xsim_bench::queue_churn_ns_per_op(&mut cal, pending, ops);
+    for (i, pending) in xsim_bench::QUEUE_TIERS.into_iter().enumerate() {
+        let tier = xsim_bench::run_queue_tier(pending, 200_000);
         println!(
             "{:>10} {:>14.1} {:>14.1} {:>7.2}x",
-            pending,
-            heap_ns,
-            cal_ns,
-            heap_ns / cal_ns
+            tier.pending,
+            tier.heap_ns_per_op,
+            tier.calendar_ns_per_op,
+            tier.speedup()
         );
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "{{\"pending\":{pending},\"ops\":{ops},\"heap_ns_per_op\":{heap_ns:.1},\
-             \"calendar_ns_per_op\":{cal_ns:.1},\"speedup\":{:.3}}}",
-            heap_ns / cal_ns
+            "{{\"pending\":{},\"ops\":{},\"heap_ns_per_op\":{:.1},\
+             \"calendar_ns_per_op\":{:.1},\"speedup\":{:.3}}}",
+            tier.pending,
+            tier.ops,
+            tier.heap_ns_per_op,
+            tier.calendar_ns_per_op,
+            tier.speedup()
         );
     }
-    json.push_str("]}");
+    json.push(']');
+
+    // The VP-scaling ladder (engine-level ring-of-wakes workload, see
+    // the `vp_scaling` bin): raw event-core throughput, host cost per
+    // event and peak RSS from 2^20 up to the paper's headline 2^27 VPs.
+    // Ascending order keeps the monotone VmHWM readable as per-rung
+    // peaks; the free-memory gate skips rungs that would not fit.
+    json.push_str(",\"vp_scaling\":[");
+    println!(
+        "\n{:>12} {:>10} {:>14} {:>12} {:>14} {:>12}",
+        "vps", "wall", "events", "events/s", "host µs/event", "peakRSS MiB"
+    );
+    let gate = xsim_bench::vp_mem_gate().unwrap_or(usize::MAX);
+    let mut first = true;
+    for exp in 20u32..=27 {
+        let vps = 1usize << exp;
+        if vps > gate {
+            println!("{vps:>12}  skipped (above the memory gate)");
+            continue;
+        }
+        let row = xsim_bench::run_vp_scaling_rung(vps, 1, 2);
+        println!(
+            "{:>12} {:>10.2?} {:>14} {:>12.0} {:>14.3} {:>12.1}",
+            row.vps,
+            row.wall,
+            row.events,
+            row.events_per_sec,
+            row.host_us_per_event,
+            row.peak_rss_kib as f64 / 1024.0
+        );
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "{{\"vps\":{},\"workers\":{},\"rounds\":{},\"events\":{},\"wall_us\":{},\
+             \"events_per_sec\":{:.0},\"host_us_per_event\":{:.3},\"peak_rss_kib\":{}}}",
+            row.vps,
+            row.workers,
+            row.rounds,
+            row.events,
+            row.wall.as_micros(),
+            row.events_per_sec,
+            row.host_us_per_event,
+            row.peak_rss_kib
+        );
+    }
+    json.push(']');
+    let _ = write!(json, ",\"peak_rss_kib\":{}}}", peak_rss_kib().unwrap_or(0));
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
 }
@@ -261,7 +294,8 @@ fn bench_msgpath(workers: usize) {
         );
     }
     std::env::remove_var("XSIM_NET_ROUTE_CACHE");
-    json.push_str("]}");
+    json.push(']');
+    let _ = write!(json, ",\"peak_rss_kib\":{}}}", peak_rss_kib().unwrap_or(0));
     std::fs::write("BENCH_msgpath.json", &json).expect("write BENCH_msgpath.json");
     println!("\nwrote BENCH_msgpath.json");
 }

@@ -291,9 +291,17 @@ impl Kernel {
     }
 
     /// Schedule the initial spawn events for every owned rank.
+    ///
+    /// Ranks are pushed in *descending* order: spawn keys share one
+    /// timestamp, so descending ranks mean descending keys, and every
+    /// push lands on the calendar bucket's append fast path — the spawn
+    /// wave stays sorted without a single deferred sort even at 2²⁷
+    /// VPs. Pop order is push-order independent (key uniqueness; pinned
+    /// by `queue_order_is_push_order_independent`), so this is purely a
+    /// host-side optimization.
     pub fn schedule_spawns(&mut self) {
         let t0 = self.cfg.start_time;
-        for r in self.owned_ranks() {
+        for r in self.owned_ranks().rev() {
             let rank = Rank::new(r);
             self.queue.push(EventRec {
                 key: EventKey {
@@ -400,7 +408,6 @@ impl Kernel {
         self.context_switches += 1;
         let mut vp = self.vps.get_mut(rank);
         vp.set_state(VpState::Running);
-        vp.bump_resumes();
         let mut fut = vp.take_future().expect("runnable VP must have a future");
 
         let waker = Waker::noop();

@@ -7,10 +7,13 @@
 //!   Pending events live in a ring of `nb` buckets, each covering one
 //!   `2^shift`-nanosecond slice of virtual time; events beyond the
 //!   ring's horizon wait in an overflow lane that is redistributed when
-//!   the ring drains. Buckets are sorted lazily (only when popped from
-//!   and only after new pushes dirtied them), and bucket/overflow
-//!   buffers keep their capacity across the run, so steady-state
-//!   push/pop performs zero allocations.
+//!   the ring drains. Buckets are kept sorted (descending by key, so
+//!   `Vec::pop` yields the minimum) by binary-search ordered insertion;
+//!   the dirty-flag deferred sort survives only for bulk redistribution
+//!   (ring growth, width re-fits, overflow migration) and for the
+//!   bounded-memmove fallback below. Bucket/overflow buffers keep their
+//!   capacity across the run, so steady-state push/pop performs zero
+//!   allocations.
 //! * **Heap**: the original `BinaryHeap` implementation, kept as the
 //!   determinism oracle. Select it with `XSIM_ENGINE_QUEUE=heap` (the
 //!   default is `calendar`; any other value falls back to the default).
@@ -19,6 +22,19 @@
 //! unique, the two implementations produce byte-identical pop sequences
 //! for any push/pop interleaving — pinned by the oracle proptest in
 //! `tests/prop.rs` and the seeded differential test below.
+//!
+//! ## Compact records and the call slab
+//!
+//! Resident events are stored as a 40-byte [`CompactRec`] — the 24-byte
+//! key plus a 16-byte action word — instead of the full [`EventRec`],
+//! whose inline [`CallFn`] buffer makes it ~176 bytes. `Call` closures
+//! park in a facade-owned slab ([`CallSlab`]) and the record carries
+//! only the slot index; slots are recycled through a free list, so the
+//! 112-byte closure buffer is paid once per *in-flight* `Call`, not per
+//! resident event. At the paper's 2²⁷-VP scale the initial spawn wave
+//! alone is ~134 M resident events: 40 B/event keeps that to ~5 GiB
+//! where full records would need ~24 GiB. Dropping the queue drops the
+//! slab, releasing unfired closures' captures (abort teardown).
 //!
 //! ## Tie-breaking audit
 //!
@@ -35,8 +51,9 @@
 //! below and the colliding-timestamp regression tests in
 //! `tests/engine.rs` pin down.
 
-use crate::event::{EventKey, EventRec};
+use crate::event::{Action, CallFn, EventKey, EventRec};
 use crate::time::SimTime;
+use crate::vp::WaitToken;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -77,10 +94,62 @@ pub struct QueueStats {
 }
 
 // ---------------------------------------------------------------------
+// Compact resident representation
+// ---------------------------------------------------------------------
+
+/// The action word of a resident event: [`Action`] with the `Call`
+/// closure swapped for its [`CallSlab`] slot index.
+enum CompactAction {
+    Spawn,
+    WakeToken(WaitToken),
+    WakeMessage,
+    Call(u32),
+}
+
+/// A resident event: 24-byte key + 16-byte action = 40 bytes.
+struct CompactRec {
+    key: EventKey,
+    action: CompactAction,
+}
+
+/// Parking lot for in-flight `Call` closures, owned by the facade and
+/// shared by both queue implementations. Slots are recycled through a
+/// free list, so steady-state `Call` traffic allocates nothing once the
+/// slab has grown to the in-flight high-water mark.
+#[derive(Default)]
+struct CallSlab {
+    slots: Vec<Option<CallFn>>,
+    free: Vec<u32>,
+}
+
+impl CallSlab {
+    #[inline]
+    fn insert(&mut self, f: CallFn) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(f);
+                i
+            }
+            None => {
+                self.slots.push(Some(f));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, slot: u32) -> CallFn {
+        let f = self.slots[slot as usize].take().expect("live call slot");
+        self.free.push(slot);
+        f
+    }
+}
+
+// ---------------------------------------------------------------------
 // Heap implementation (oracle)
 // ---------------------------------------------------------------------
 
-struct HeapEntry(EventRec);
+struct HeapEntry(CompactRec);
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
@@ -108,7 +177,7 @@ struct HeapQueue {
 
 impl HeapQueue {
     #[inline]
-    fn push(&mut self, ev: EventRec) {
+    fn push(&mut self, ev: CompactRec) {
         self.stats.pushes += 1;
         if self.heap.len() < self.heap.capacity() {
             self.stats.reused += 1;
@@ -117,7 +186,7 @@ impl HeapQueue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<EventRec> {
+    fn pop(&mut self) -> Option<CompactRec> {
         self.heap.pop().map(|e| e.0)
     }
 
@@ -142,21 +211,80 @@ const INITIAL_BUCKETS: usize = 256;
 const INITIAL_SHIFT: u32 = 10;
 /// Grow the ring when resident events exceed `buckets * GROW_LOAD`.
 const GROW_LOAD: usize = 4;
-/// Hard cap on the ring size (2^20 buckets ≈ 8 MiB of headers).
+/// Hard cap on the ring size (2^20 buckets ≈ 24 MiB of headers).
 const MAX_BUCKETS: usize = 1 << 20;
-/// Re-fit the bucket width when a dirty bucket about to be sorted
-/// holds more events than this. Dense clusters otherwise degenerate:
-/// every push into the pop bucket re-dirties it and each pop pays a
-/// near-full re-sort.
+/// Re-fit the bucket width when the bucket at the window head holds
+/// more events than this. Dense clusters otherwise degenerate: every
+/// ordered insert into an oversized bucket pays an O(len) memmove.
 const SPLIT_OCCUPANCY: usize = 64;
+/// Events per slice a width re-fit aims for: a few records per bucket
+/// keeps ordered-insert memmoves to a cache line or two. Higher targets
+/// measurably lose at the dense tiers — the deeper per-insert memmove
+/// traffic outweighs the fewer header touches.
+const SPLIT_TARGET_OCCUPANCY: usize = 8;
+/// Spare bucket buffers kept for recycling. A sliding window marches
+/// over buckets that have never held an event (the ring wraps only
+/// every `nb` slices), so without recycling every few pushes pay a
+/// fresh allocation; the settle scan instead strips capacity from the
+/// drained buckets it passes and pushes install it into cold ones.
+const SPARE_BUFFERS: usize = 32;
+/// Ordered-insertion memmove bound: an insertion that would shift more
+/// than this many records appends + dirties the bucket instead,
+/// deferring to one sort when the bucket reaches the window head. This
+/// caps the per-push cost at a ~2.5 KiB memmove while turning the two
+/// degenerate fills — ascending-key floods into one slice, and dense
+/// same-time ties whose order is decided by `(dst, src, seq)` alone —
+/// into one O(n log n) sort instead of O(n²) memmoves.
+const INSERT_MOVE_CAP: usize = 64;
+/// Shrink a bucket's buffer back to this capacity when it empties.
+/// One-shot giants (the initial spawn wave parks ~n events in a single
+/// unsplittable same-time bucket) would otherwise pin their peak
+/// allocation for the rest of the run.
+const TRIM_CAP: usize = 1 << 16;
+
+/// Smallest bucket-width log2 that lets `span` nanoseconds of resident
+/// virtual time fit inside half the ring-size cap — the narrowest
+/// slices the geometry can afford for a given span. Splits narrow no
+/// further than this and migrations widen up to it, so the two can
+/// never disagree about the width (the split ↔ widen ping-pong that
+/// otherwise cycles the whole population through the overflow lane).
+fn span_fit_shift(span: u64) -> u32 {
+    let mut shift = 0;
+    while (span >> shift) >= (MAX_BUCKETS as u64) / 2 {
+        shift += 1;
+    }
+    shift
+}
+
+/// Route one event into its bucket during bulk redistribution
+/// (rebuild / overflow migration), preserving a clean bucket's
+/// descending order when the arrival order allows (keys are unique, so
+/// `last.key < ev.key` is exactly an order break). Free function: the
+/// overflow-migration caller holds a `Drain` borrow on another field.
+#[inline]
+fn route_bulk(ring: &mut [Vec<CompactRec>], dirty: &mut [bool], s: u64, ev: CompactRec) {
+    let nb = ring.len() as u64;
+    let b = (s & (nb - 1)) as usize;
+    let bucket = &mut ring[b];
+    if !dirty[b] {
+        if let Some(l) = bucket.last() {
+            if l.key < ev.key {
+                dirty[b] = true;
+            }
+        }
+    }
+    bucket.push(ev);
+}
 
 struct CalendarQueue {
     /// Ring of buckets; bucket `i` holds events whose time slice `s`
     /// (`s = time >> shift`) satisfies `s % nb == i` and lies inside the
-    /// current window `[cur_slice, cur_slice + nb)`.
-    ring: Vec<Vec<EventRec>>,
-    /// Per-bucket lazy-sort flag: set on push, cleared after the bucket
-    /// is sorted (descending by key, so `Vec::pop` yields the minimum).
+    /// current window `[cur_slice, cur_slice + nb)`. Clean buckets are
+    /// sorted descending by key, so `Vec::pop` yields the minimum.
+    ring: Vec<Vec<CompactRec>>,
+    /// Per-bucket deferred-sort flag: set only by bulk redistribution
+    /// and the bounded-memmove fallback (ordinary pushes insert in order), cleared
+    /// after the bucket is sorted at the window head.
     dirty: Vec<bool>,
     /// `log2` of the bucket width in nanoseconds.
     shift: u32,
@@ -166,7 +294,7 @@ struct CalendarQueue {
     cur_slice: u64,
     /// Events beyond the ring horizon at push time, redistributed (and
     /// the geometry re-fitted) whenever the ring drains.
-    overflow: Vec<EventRec>,
+    overflow: Vec<CompactRec>,
     /// Time (ns) of the earliest overflow event; `u64::MAX` when the
     /// lane is empty. Ring pushes are gated strictly below this bound.
     /// Without it the sliding window is unsound: an event parked in
@@ -178,6 +306,14 @@ struct CalendarQueue {
     ring_len: usize,
     /// Total events (ring + overflow).
     len: usize,
+    /// Latest resident time (ns): raised on push, recomputed exactly on
+    /// rebuild, reset when the queue empties. Between rebuilds it may
+    /// overestimate (the max-time event pops only when it is last), but
+    /// it is never below the true maximum, which is the safe direction
+    /// for the span-driven geometry below.
+    max_ns: u64,
+    /// Recycled bucket buffers — see [`SPARE_BUFFERS`].
+    spare: Vec<Vec<CompactRec>>,
     /// Allocation/occupancy counters.
     stats: QueueStats,
 }
@@ -198,6 +334,8 @@ impl CalendarQueue {
             overflow_min_ns: u64::MAX,
             ring_len: 0,
             len: 0,
+            max_ns: 0,
+            spare: Vec::new(),
             stats: QueueStats::default(),
         }
     }
@@ -208,14 +346,16 @@ impl CalendarQueue {
     }
 
     #[inline]
-    fn push(&mut self, ev: EventRec) {
+    fn push(&mut self, ev: CompactRec) {
         self.stats.pushes += 1;
         self.len += 1;
-        // Clamp below-window pushes into the current bucket: its full-key
-        // sort still pops them first, preserving pop-min semantics. (The
-        // engines never schedule into the popped past, but the queue must
-        // not corrupt its geometry if a layer above ever does.)
+        // Clamp below-window pushes into the current bucket: ordered
+        // insertion still pops them first, preserving pop-min semantics.
+        // (The engines never schedule into the popped past, but the
+        // queue must not corrupt its geometry if a layer above ever
+        // does.)
         let ns = ev.key.time.as_nanos();
+        self.max_ns = self.max_ns.max(ns);
         let s = self.slice_of(ev.key.time).max(self.cur_slice);
         let nb = self.ring.len();
         // Ring placement requires being strictly earlier than everything
@@ -224,14 +364,54 @@ impl CalendarQueue {
         if s < self.cur_slice + nb as u64 && ns < self.overflow_min_ns {
             let b = (s & (nb as u64 - 1)) as usize;
             let bucket = &mut self.ring[b];
+            if bucket.capacity() == 0 {
+                // Cold bucket (never filled, or stripped by the settle
+                // scan): seed it with a recycled buffer.
+                if let Some(buf) = self.spare.pop() {
+                    *bucket = buf;
+                }
+            }
             if bucket.len() < bucket.capacity() {
                 self.stats.reused += 1;
             }
-            bucket.push(ev);
-            self.dirty[b] = true;
-            self.stats.bucket_hwm = self.stats.bucket_hwm.max(bucket.len() as u64);
+            if self.dirty[b] || bucket.last().is_none_or(|l| ev.key < l.key) {
+                // Dirty buckets collect appends until their deferred
+                // sort; clean buckets append when the event is the new
+                // bucket minimum — the common hold-model case, O(1).
+                bucket.push(ev);
+            } else {
+                // Binary-search ordered insertion into the descending
+                // bucket. `partition_point` finds the first entry not
+                // greater than the new key; keys are unique, so this is
+                // the exact insertion point.
+                let pos = bucket.partition_point(|x| x.key > ev.key);
+                if bucket.len() - pos > INSERT_MOVE_CAP {
+                    // Bounded-memmove fallback: a deep insertion appends
+                    // and dirties the bucket; the deferred sort at the
+                    // window head pays once — see `INSERT_MOVE_CAP`.
+                    bucket.push(ev);
+                    self.dirty[b] = true;
+                } else {
+                    bucket.insert(pos, ev);
+                }
+            }
+            let blen = bucket.len();
+            self.stats.bucket_hwm = self.stats.bucket_hwm.max(blen as u64);
             self.ring_len += 1;
-            if self.ring_len > nb * GROW_LOAD && nb < MAX_BUCKETS {
+            // Width re-fits trigger here too, not only at the window
+            // head: a bulk fill (benchmark prefill, an engine's spawn
+            // wave) then pays for its own redistribution while loading,
+            // instead of deferring an O(n) rebuild into the first pop of
+            // the measured/steady phase. Checked at the occupancy
+            // threshold and at power-of-two crossings so a bucket is
+            // re-examined O(log len) times, not per push.
+            if blen == SPLIT_OCCUPANCY + 1 || (blen > SPLIT_OCCUPANCY && blen & (blen - 1) == 0) {
+                if let Some(sh) = self.cluster_shift(b) {
+                    self.rebuild(sh, 0);
+                    return;
+                }
+            }
+            if self.ring_len > self.ring.len() * GROW_LOAD && self.ring.len() < MAX_BUCKETS {
                 self.grow();
             }
         } else {
@@ -243,58 +423,111 @@ impl CalendarQueue {
         }
     }
 
-    /// Double the ring and redistribute resident events. Amortized O(1)
-    /// per push; bucket buffers are recycled into the larger ring.
+    /// Enlarge the ring and redistribute resident events. `rebuild`
+    /// jumps straight to a size fitting the current load and span
+    /// (instead of one doubling per call), so a bulk wave — the 2²⁷
+    /// initial spawns — pays one redistribution, not one per doubling;
+    /// the doubling floor only guards the exact-power-of-two boundary
+    /// where the load-derived size equals the current one. Amortized
+    /// O(1) per push.
     fn grow(&mut self) {
-        let nb = (self.ring.len() * 2).min(MAX_BUCKETS);
-        self.rebuild(nb, self.shift);
+        self.rebuild(self.shift, self.ring.len() * 2);
     }
 
-    /// Re-fit the ring to `nb` buckets of width `2^shift` and re-insert
-    /// every resident event. Reuses the old buffers where possible.
-    fn rebuild(&mut self, nb: usize, shift: u32) {
-        let mut events: Vec<EventRec> = Vec::with_capacity(self.ring_len + self.overflow.len());
-        for b in &mut self.ring {
-            events.append(b);
+    /// Re-fit the ring to width `2^shift` and redistribute every
+    /// resident event in bulk: slice-vs-horizon routing (as in
+    /// `migrate_overflow`) with appends that defer sorting to the window
+    /// head, O(n) total. Reuses the old buffers where possible. This is
+    /// the one remaining producer of dirty buckets besides the
+    /// bounded-memmove fallback.
+    ///
+    /// The bucket count is derived here, never passed in: at least
+    /// `min_nb`, at least the load target (`len / GROW_LOAD` buckets),
+    /// and — the load-bearing term — at least twice the resident
+    /// *time-span* in slices, so the whole population rides inside the
+    /// window whenever the cap allows. Sizing to load alone is the
+    /// classic calendar-queue failure: a population whose span outgrows
+    /// `nb` slices at the occupancy-driven width cycles ring → overflow
+    /// → ring forever, three O(n) redistributions per lap. The count is
+    /// monotone non-decreasing; empty buckets cost 24 B of header and
+    /// make the geometry a high-water mark instead of a thrash point.
+    fn rebuild(&mut self, shift: u32, min_nb: usize) {
+        let mut events: Vec<CompactRec> = Vec::with_capacity(self.ring_len + self.overflow.len());
+        // Drain from the window head forward and stop once every
+        // resident event is collected: the live region sits just past
+        // `cur_slice`, so a huge mostly-empty ring doesn't pay a full
+        // header sweep per re-fit. Unvisited (empty) buckets may keep a
+        // stale dirty flag; that only downgrades a later ordered insert
+        // into the append-and-sort-once path, so it is cosmetic.
+        let old_nb = self.ring.len();
+        let start = (self.cur_slice as usize) & (old_nb - 1);
+        for i in 0..old_nb {
+            if events.len() == self.ring_len {
+                break;
+            }
+            let b = (start + i) & (old_nb - 1);
+            self.dirty[b] = false;
+            events.append(&mut self.ring[b]);
         }
         events.append(&mut self.overflow);
         self.overflow_min_ns = u64::MAX;
+        let mut min_ns = u64::MAX;
+        let mut max_ns = 0u64;
+        for e in &events {
+            let ns = e.key.time.as_nanos();
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        if events.is_empty() {
+            min_ns = 0;
+        }
+        self.max_ns = max_ns;
+        let span_slices = max_ns.saturating_sub(min_ns) >> shift;
+        let span_nb = if span_slices >= (MAX_BUCKETS as u64) / 2 {
+            MAX_BUCKETS
+        } else {
+            (span_slices as usize * 2 + 1).next_power_of_two()
+        };
+        let load_nb = (events.len() / GROW_LOAD).max(1).next_power_of_two();
+        let nb = self
+            .ring
+            .len()
+            .max(min_nb)
+            .max(load_nb)
+            .max(span_nb)
+            .min(MAX_BUCKETS);
         // Anchor the window at the resident minimum. Nothing below it is
         // pending, and a later push below the window start is clamped
-        // into the current bucket by `push` (the full-key bucket sort
-        // still pops it first), so this floor can never reorder pops.
-        // Anchoring anywhere earlier is the trap: after a split narrows
-        // the slices, a floor carried over from the old geometry can sit
-        // more than `nb` new slices below the minimum, spilling the
-        // entire ring into overflow and ping-ponging with the widening
-        // re-fit in `migrate_overflow`.
-        let min_slice = events
-            .iter()
-            .map(|e| e.key.time.as_nanos() >> shift)
-            .min()
-            .unwrap_or(0);
+        // into the current bucket by `push` (ordered insertion still
+        // pops it first), so this floor can never reorder pops.
         self.shift = shift;
-        self.cur_slice = min_slice;
+        self.cur_slice = min_ns >> shift;
         if self.ring.len() != nb {
             self.ring.resize_with(nb, Vec::new);
             self.dirty.resize(nb, false);
         }
         self.ring_len = 0;
-        let prev_pushes = self.stats.pushes;
-        let prev_reused = self.stats.reused;
-        let prev_len = self.len;
-        self.len = 0;
+        let horizon = self.cur_slice + nb as u64;
         for ev in events {
-            self.push(ev);
+            let ns = ev.key.time.as_nanos();
+            let s = ns >> shift;
+            // Ring times stay below `horizon << shift` and overflow
+            // times at or above it, so the overflow gate holds.
+            if s < horizon {
+                route_bulk(&mut self.ring, &mut self.dirty, s, ev);
+                self.ring_len += 1;
+            } else {
+                self.overflow_min_ns = self.overflow_min_ns.min(ns);
+                self.overflow.push(ev);
+            }
         }
-        // Redistribution is internal bookkeeping, not new traffic.
-        self.stats.pushes = prev_pushes;
-        self.stats.reused = prev_reused;
-        self.len = prev_len;
+        // Redistribution is internal bookkeeping: `len` and the
+        // allocation counters are deliberately untouched.
     }
 
-    /// Position `cur_slice` at the bucket holding the minimum key and
-    /// sort it if dirty. Returns the bucket index, or `None` when empty.
+    /// Position `cur_slice` at the bucket holding the minimum key; sort
+    /// it if a bulk redistribution or bounded-memmove fallback left it dirty.
+    /// Returns the bucket index, or `None` when empty.
     fn settle(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;
@@ -312,6 +545,14 @@ impl CalendarQueue {
                 if !self.ring[b].is_empty() {
                     break b;
                 }
+                // The window has drained past this slice; strip its
+                // buffer for the cold buckets ahead. Each slice is
+                // passed exactly once per geometry, so this is O(1)
+                // amortized per pop.
+                let cap = self.ring[b].capacity();
+                if cap > 0 && cap <= TRIM_CAP && self.spare.len() < SPARE_BUFFERS {
+                    self.spare.push(std::mem::take(&mut self.ring[b]));
+                }
                 s += 1;
                 debug_assert!(
                     s < self.cur_slice + nb,
@@ -319,10 +560,10 @@ impl CalendarQueue {
                 );
             };
             self.cur_slice = s;
+            if self.try_split(b) {
+                continue;
+            }
             if self.dirty[b] {
-                if self.try_split(b) {
-                    continue;
-                }
                 // Descending by key: `Vec::pop` then yields the minimum.
                 // Keys are unique, so unstable sorting is deterministic.
                 self.ring[b].sort_unstable_by_key(|x| std::cmp::Reverse(x.key));
@@ -332,44 +573,75 @@ impl CalendarQueue {
         }
     }
 
-    /// A dirty bucket about to be sorted is oversized: narrow the bucket
+    /// The bucket at the window head is oversized: narrow the bucket
     /// width so the cluster spreads across many slices, restoring O(1)
     /// amortized pops under skewed time distributions. Returns whether
     /// the geometry changed (the caller must re-settle). Identical-time
-    /// floods (span 0) cannot be split and simply sort.
+    /// floods (span 0) cannot be split and simply sort. For a clean
+    /// bucket the span check is O(1): descending order puts the latest
+    /// time first and the earliest last.
     fn try_split(&mut self, b: usize) -> bool {
+        match self.cluster_shift(b) {
+            Some(shift) => {
+                self.rebuild(shift, 0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The narrower bucket width an oversized bucket's cluster calls
+    /// for, or `None` when narrowing is impossible (small bucket,
+    /// identical-time flood, or the span cap already binds).
+    fn cluster_shift(&self, b: usize) -> Option<u32> {
         let bucket = &self.ring[b];
         if bucket.len() <= SPLIT_OCCUPANCY || self.shift == 0 {
-            return false;
+            return None;
         }
-        let mut min_ns = u64::MAX;
-        let mut max_ns = 0u64;
-        for e in bucket {
-            let ns = e.key.time.as_nanos();
-            min_ns = min_ns.min(ns);
-            max_ns = max_ns.max(ns);
-        }
+        let (min_ns, max_ns) = if self.dirty[b] {
+            let mut min_ns = u64::MAX;
+            let mut max_ns = 0u64;
+            for e in bucket {
+                let ns = e.key.time.as_nanos();
+                min_ns = min_ns.min(ns);
+                max_ns = max_ns.max(ns);
+            }
+            (min_ns, max_ns)
+        } else {
+            (
+                bucket.last().unwrap().key.time.as_nanos(),
+                bucket.first().unwrap().key.time.as_nanos(),
+            )
+        };
         let span = max_ns - min_ns;
         if span == 0 {
-            return false;
+            return None;
         }
-        // Aim for ~4 events per slice at the new width.
-        let target = (bucket.len() / 4).max(1) as u64;
+        // Aim for ~4 events per slice at the new width, but narrow no
+        // further than the full resident span can afford under the
+        // ring-size cap: past that point the tail would fall out of any
+        // coverable window and every lap would migrate it back — the
+        // other half of the split ↔ widen ping-pong guarded against in
+        // `span_fit_shift`. A cluster denser than the clamped width can
+        // express leans on the bounded-memmove insertion instead.
+        let target = (bucket.len() / SPLIT_TARGET_OCCUPANCY).max(1) as u64;
         let mut shift = self.shift;
         while shift > 0 && (span >> shift) < target {
             shift -= 1;
         }
-        if shift == self.shift {
-            return false;
+        let full_span = self.max_ns.saturating_sub(self.cur_slice << self.shift);
+        shift = shift.max(span_fit_shift(full_span));
+        if shift >= self.shift {
+            return None;
         }
-        let nb = self.ring.len();
-        self.rebuild(nb, shift);
-        true
+        Some(shift)
     }
 
     /// The ring is empty: jump the window to the earliest overflow event
-    /// and redistribute. Re-fits the bucket width when the overflow span
-    /// dwarfs the window, so sparse far-future schedules don't thrash.
+    /// and redistribute. When even the re-anchored window cannot cover
+    /// the lane's span, re-fit instead — `rebuild` grows the ring to
+    /// cover it, widening the slices only when the span tops out the
+    /// ring-size cap (sparse far-future schedules).
     fn migrate_overflow(&mut self) {
         debug_assert!(!self.overflow.is_empty());
         let mut min_ns = u64::MAX;
@@ -381,14 +653,9 @@ impl CalendarQueue {
         }
         let nb = self.ring.len() as u64;
         let span = max_ns - min_ns;
-        let mut shift = self.shift;
-        // Aim for the whole overflow span inside half the window: the
-        // next migration then only happens after real progress.
-        while shift < 63 && (span >> shift) >= nb / 2 {
-            shift += 1;
-        }
-        if shift != self.shift {
-            self.rebuild(self.ring.len(), shift);
+        if (span >> self.shift) >= nb {
+            let shift = self.shift.max(span_fit_shift(span));
+            self.rebuild(shift, 0);
             return;
         }
         self.cur_slice = min_ns >> self.shift;
@@ -402,9 +669,7 @@ impl CalendarQueue {
             let ns = ev.key.time.as_nanos();
             let s = ns >> self.shift;
             if s < horizon {
-                let b = (s & (nb - 1)) as usize;
-                self.ring[b].push(ev);
-                self.dirty[b] = true;
+                route_bulk(&mut self.ring, &mut self.dirty, s, ev);
                 self.ring_len += 1;
             } else {
                 self.overflow_min_ns = self.overflow_min_ns.min(ns);
@@ -423,12 +688,21 @@ impl CalendarQueue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<EventRec> {
+    fn pop(&mut self) -> Option<CompactRec> {
         let b = self.settle()?;
         let ev = self.ring[b].pop();
         debug_assert!(ev.is_some());
         self.ring_len -= 1;
         self.len -= 1;
+        if self.len == 0 {
+            // A fresh epoch may start at much earlier times; a stale
+            // maximum would overclamp `try_split` forever.
+            self.max_ns = 0;
+        }
+        let bucket = &mut self.ring[b];
+        if bucket.is_empty() && bucket.capacity() > TRIM_CAP {
+            bucket.shrink_to(TRIM_CAP);
+        }
         ev
     }
 
@@ -451,6 +725,8 @@ enum Inner {
 /// Min-queue of pending events with deterministic tie-breaking.
 pub struct EventQueue {
     inner: Inner,
+    /// In-flight `Call` closures; resident records carry slot indices.
+    calls: CallSlab,
 }
 
 impl Default for EventQueue {
@@ -473,6 +749,7 @@ impl EventQueue {
                 QueueImpl::Heap => Inner::Heap(HeapQueue::default()),
                 QueueImpl::Calendar => Inner::Calendar(Box::new(CalendarQueue::new())),
             },
+            calls: CallSlab::default(),
         }
     }
 
@@ -511,22 +788,42 @@ impl EventQueue {
         }
     }
 
-    /// Insert an event.
+    /// Insert an event. `Call` closures park in the facade's slab and
+    /// the resident record carries only the slot index — see the module
+    /// docs.
     #[inline]
     pub fn push(&mut self, ev: EventRec) {
+        let rec = CompactRec {
+            key: ev.key,
+            action: match ev.action {
+                Action::Spawn => CompactAction::Spawn,
+                Action::WakeToken(t) => CompactAction::WakeToken(t),
+                Action::WakeMessage => CompactAction::WakeMessage,
+                Action::Call(f) => CompactAction::Call(self.calls.insert(f)),
+            },
+        };
         match &mut self.inner {
-            Inner::Heap(h) => h.push(ev),
-            Inner::Calendar(c) => c.push(ev),
+            Inner::Heap(h) => h.push(rec),
+            Inner::Calendar(c) => c.push(rec),
         }
     }
 
     /// Remove and return the earliest event (smallest key).
     #[inline]
     pub fn pop(&mut self) -> Option<EventRec> {
-        match &mut self.inner {
+        let rec = match &mut self.inner {
             Inner::Heap(h) => h.pop(),
             Inner::Calendar(c) => c.pop(),
-        }
+        }?;
+        Some(EventRec {
+            key: rec.key,
+            action: match rec.action {
+                CompactAction::Spawn => Action::Spawn,
+                CompactAction::WakeToken(t) => Action::WakeToken(t),
+                CompactAction::WakeMessage => Action::WakeMessage,
+                CompactAction::Call(slot) => Action::Call(self.calls.remove(slot)),
+            },
+        })
     }
 
     /// Remove the earliest event only if it fires strictly before `bound`.
@@ -803,7 +1100,7 @@ mod tests {
             seq += 1;
         }
         // Hold-model churn: pop the min, push a successor just ahead —
-        // repeatedly re-dirtying the pop bucket.
+        // repeatedly landing in the pop bucket.
         let mut state = 0xabcdef12345678u64;
         for _ in 0..6_000 {
             state ^= state << 13;
@@ -827,5 +1124,164 @@ mod tests {
         // Sanity-check the trigger precondition: the cluster really did
         // stack one bucket far above the split threshold.
         assert!(cal.stats().bucket_hwm > SPLIT_OCCUPANCY as u64);
+    }
+
+    /// Dense ties on one timestamp (span 0: unsplittable, so the split
+    /// path can never rescue the bucket) hammer the ordered-insertion
+    /// path directly: ascending, descending and shuffled key orders,
+    /// far past the bounded-memmove cap, interleaved with pops. Pop
+    /// order must match the heap oracle byte-for-byte.
+    #[test]
+    fn dense_tie_insertion_matches_heap() {
+        // Three adversarial push orders over the same key set, sized so
+        // both the in-order insert and the append-and-sort-once paths
+        // are exercised many times over.
+        let n: u64 = 32 * INSERT_MOVE_CAP as u64 + 137;
+        let orders: [&dyn Fn(u64) -> u64; 3] = [
+            &|i| i,                       // ascending (dst,src,seq)
+            &|i| n - 1 - i,               // descending
+            &|i| (i * 2_654_435_761) % n, // pseudo-shuffled
+        ];
+        for order in orders {
+            let mut heap = EventQueue::heap();
+            let mut cal = EventQueue::calendar();
+            for i in 0..n {
+                let j = order(i);
+                let e = ev(500, (j % 61) as u32, (j % 53) as u32, j);
+                heap.push(clone_ev(&e));
+                cal.push(e);
+            }
+            // Interleave: pop a few, push a few more colliding events.
+            for round in 0..64u64 {
+                for _ in 0..8 {
+                    let a = heap.pop().map(|e| e.key);
+                    let b = cal.pop().map(|e| e.key);
+                    assert_eq!(a, b, "tie pop diverged");
+                }
+                let j = n + round;
+                let e = ev(500, (j % 61) as u32, (j % 53) as u32, j);
+                heap.push(clone_ev(&e));
+                cal.push(e);
+            }
+            loop {
+                let a = heap.pop().map(|e| e.key);
+                let b = cal.pop().map(|e| e.key);
+                assert_eq!(a, b, "tie drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Seeded mirror of the banded/burst proptest in `tests/prop.rs`:
+    /// interleaved push/pop traffic over three time bands (tie-dense,
+    /// mid-range across many slices, far-future overflow) with
+    /// same-time bursts crossing the bounded-memmove cap. Runs in every
+    /// local build, where the proptest needs the real `proptest` crate.
+    #[test]
+    fn banded_burst_traffic_matches_heap() {
+        let mut heap = EventQueue::heap();
+        let mut cal = EventQueue::calendar();
+        let mut seq = 0u64;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..1_200 {
+            let r = rng();
+            if r & 1 == 1 || heap.is_empty() {
+                let t = (r >> 8) % 512;
+                let t = match (r >> 1) % 3 {
+                    0 => t,
+                    1 => t << 12,
+                    _ => t << 40,
+                };
+                let burst = 1 + 48 * ((r >> 24) % 3);
+                for _ in 0..burst {
+                    let e = ev(t, ((r >> 32) % 16) as u32, ((r >> 40) % 16) as u32, seq);
+                    seq += 1;
+                    heap.push(clone_ev(&e));
+                    cal.push(e);
+                }
+            } else {
+                let a = heap.pop().map(|e| e.key);
+                let b = cal.pop().map(|e| e.key);
+                assert_eq!(a, b, "banded pop diverged");
+            }
+            assert_eq!(heap.len(), cal.len());
+            assert_eq!(heap.next_time(), cal.next_time());
+        }
+        loop {
+            let a = heap.pop().map(|e| e.key);
+            let b = cal.pop().map(|e| e.key);
+            assert_eq!(a, b, "banded drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(cal.stats().bucket_hwm > INSERT_MOVE_CAP as u64);
+    }
+
+    /// `Call` closures round-trip through the facade slab: popped events
+    /// carry the original closure, slots are recycled across push/pop
+    /// cycles, and dropping the queue releases unfired captures.
+    #[test]
+    fn call_slab_recycles_slots_and_releases_unfired() {
+        use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU32::new(0));
+        struct Bump(Arc<AtomicU32>);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AtomicOrdering::SeqCst);
+            }
+        }
+        for mut q in both() {
+            counter.store(0, AtomicOrdering::SeqCst);
+            for i in 0..8u64 {
+                let b = Bump(counter.clone());
+                q.push(EventRec {
+                    key: ev(i, 0, 0, i).key,
+                    action: Action::call(move |_k| {
+                        let _ = &b;
+                    }),
+                });
+            }
+            assert_eq!(q.calls.slots.len(), 8);
+            for _ in 0..8 {
+                let rec = q.pop().unwrap();
+                assert!(matches!(rec.action, Action::Call(_)));
+                drop(rec); // unfired: must release the capture
+            }
+            assert_eq!(counter.load(AtomicOrdering::SeqCst), 8);
+            // All slots are free again: new calls reuse them.
+            for i in 0..8u64 {
+                let b = Bump(counter.clone());
+                q.push(EventRec {
+                    key: ev(100 + i, 0, 0, 100 + i).key,
+                    action: Action::call(move |_k| {
+                        let _ = &b;
+                    }),
+                });
+            }
+            assert_eq!(q.calls.slots.len(), 8, "slots must be recycled");
+            drop(q);
+            assert_eq!(
+                counter.load(AtomicOrdering::SeqCst),
+                16,
+                "queue drop must release unfired captures"
+            );
+        }
+    }
+
+    /// The resident record must stay at 40 bytes (24-byte key + 16-byte
+    /// action word): the 2²⁷-VP memory budget is sized to it.
+    #[test]
+    fn compact_rec_is_40_bytes() {
+        assert_eq!(std::mem::size_of::<CompactRec>(), 40);
     }
 }

@@ -10,16 +10,28 @@
 //! Per-VP state lives in parallel SoA `Vec`s indexed by *local* VP index
 //! (`rank − shard base`), not in an array of structs behind options:
 //!
-//! * the hot wake/dispatch fields (clock, run state, wait class/token,
-//!   pending-wake flag) each occupy their own dense array, so the
-//!   kernel's wake checks and the engines' end-of-run scans touch a few
-//!   contiguous cache lines per shard instead of striding over
+//! * the hot wake/dispatch fields each occupy their own dense array, so
+//!   the kernel's wake checks and the engines' end-of-run scans touch a
+//!   few contiguous cache lines per shard instead of striding over
 //!   pointer-sized `Option<Vp>` slots sized to the *whole* machine;
-//! * cold fields (the coroutine itself, termination, diagnostics) sit in
-//!   separate arrays so they never pollute the hot lines;
+//! * run state, wait class, the pending-wake flag and the termination
+//!   kind pack into one byte per VP (3+2+1+2 bits); the termination
+//!   *time* is always the VP's final clock (pinned by a debug assert in
+//!   [`VpMut::set_termination`]), so it is reconstructed from the clock
+//!   column instead of stored;
+//! * wait descriptions are interned: the column holds a one-byte index
+//!   into a tiny per-table string table (the simulator has a handful of
+//!   distinct wait sites, all `&'static str`);
+//! * the failure/abort activation columns are *lazy* — empty until the
+//!   first injection touches the shard, so a failure-free run pays zero
+//!   bytes per VP for them;
 //! * each shard's table is sized to the ranks it owns — per-shard memory
-//!   is O(owned), not O(n_ranks), which is what lets a 32-shard run hold
-//!   a million VPs without 32 copies of a million-slot table.
+//!   is O(owned), not O(n_ranks).
+//!
+//! The resident footprint is what lets one host hold the paper's 2²⁷
+//! VPs: 8 (clock) + 8 (wait token) + 1 (flags) + 1 (wait desc) + 16
+//! (future slot) = 34 bytes per VP of table, ≈ 4.6 GiB at 2²⁷ before
+//! the coroutines themselves.
 //!
 //! Code outside the kernel goes through the [`VpRef`]/[`VpMut`] handles
 //! returned by `Kernel::vp` / `Kernel::vp_mut`.
@@ -116,36 +128,88 @@ pub enum VpState {
     Done,
 }
 
+// --- packed per-VP flags byte -----------------------------------------
+// bits 0..=2: VpState, bits 3..=4: WaitClass, bit 5: pending wake,
+// bits 6..=7: termination kind (0 none, 1 finished, 2 failed, 3 aborted).
+
+const STATE_MASK: u8 = 0b0000_0111;
+const CLASS_SHIFT: u32 = 3;
+const CLASS_MASK: u8 = 0b0001_1000;
+const WOKEN_BIT: u8 = 0b0010_0000;
+const TERM_SHIFT: u32 = 6;
+
+#[inline]
+fn enc_state(s: VpState) -> u8 {
+    match s {
+        VpState::Fresh => 0,
+        VpState::Running => 1,
+        VpState::Blocked => 2,
+        VpState::Runnable => 3,
+        VpState::Done => 4,
+    }
+}
+
+#[inline]
+fn dec_state(b: u8) -> VpState {
+    match b & STATE_MASK {
+        0 => VpState::Fresh,
+        1 => VpState::Running,
+        2 => VpState::Blocked,
+        3 => VpState::Runnable,
+        _ => VpState::Done,
+    }
+}
+
+#[inline]
+fn enc_class(c: WaitClass) -> u8 {
+    match c {
+        WaitClass::Compute => 0,
+        WaitClass::Message => 1,
+        WaitClass::FileIo => 2,
+        WaitClass::Doomed => 3,
+    }
+}
+
+#[inline]
+fn dec_class(b: u8) -> WaitClass {
+    match (b & CLASS_MASK) >> CLASS_SHIFT {
+        0 => WaitClass::Compute,
+        1 => WaitClass::Message,
+        2 => WaitClass::FileIo,
+        _ => WaitClass::Doomed,
+    }
+}
+
+/// Sentinel for "no scheduled time" in the lazy activation columns.
+const NO_TIME: u64 = u64::MAX;
+
 /// SoA table of the VPs one shard owns, indexed by `rank − base`.
 pub struct VpTable {
     /// Ranks this table covers (`base..base+len`).
     owned: Range<usize>,
     // --- hot: touched on every wake check / dispatch ---
-    /// Virtual clocks. Advance only at simulator calls.
+    /// Virtual clocks. Advance only at simulator calls. Also the
+    /// termination time once a VP is `Done` (clocks are final then).
     clock: Vec<SimTime>,
-    /// Scheduling states.
-    state: Vec<VpState>,
-    /// What each VP is blocked on (valid when `Blocked`).
-    wait_class: Vec<WaitClass>,
+    /// Packed state/class/woken/termination byte — see module docs.
+    flags: Vec<u8>,
     /// Token of the current wait; bumped by every `begin_wait`.
     wait_token: Vec<WaitToken>,
-    /// Pending-wake flags: set by the kernel when a wakeup was delivered,
-    /// cleared by the blocking future when it observes it.
-    woken: Vec<bool>,
-    // --- warm: failure/abort activation checks on resume ---
-    /// Scheduled (earliest) time of failure, if an injection targets the
-    /// VP. `None` = "fail never" (the paper encodes this as time 0).
-    time_of_failure: Vec<Option<SimTime>>,
-    /// Earliest time at which the VP must observe a propagated abort.
-    abort_at: Vec<Option<SimTime>>,
-    // --- cold: diagnostics, teardown, the coroutines themselves ---
-    /// Human-readable wait descriptions for deadlock diagnostics
-    /// (static to keep the hot path allocation-free).
-    wait_desc: Vec<&'static str>,
-    /// How each VP terminated (valid when `Done`).
-    termination: Vec<Option<Termination>>,
-    /// Context-switch-in counts.
-    resumes: Vec<u64>,
+    // --- warm: failure/abort activation checks on resume. Lazy: empty
+    // until the first injection touches this shard ---
+    /// Scheduled (earliest) time of failure in ns; `NO_TIME` = never
+    /// (the paper encodes this as time 0).
+    time_of_failure: Vec<u64>,
+    /// Earliest time (ns) at which the VP must observe a propagated
+    /// abort; `NO_TIME` = none.
+    abort_at: Vec<u64>,
+    // --- cold: diagnostics and the coroutines themselves ---
+    /// Interned wait descriptions for deadlock diagnostics: per-VP index
+    /// into `descs` (static to keep the hot path allocation-free).
+    wait_desc: Vec<u8>,
+    /// The handful of distinct wait-site descriptions seen by this
+    /// shard; `descs[0]` is the empty string.
+    descs: Vec<&'static str>,
     /// The coroutines, while alive and not being polled. `Option` so the
     /// kernel can move one out while polling (avoiding aliasing the
     /// table) and drop it to force-terminate the VP.
@@ -159,15 +223,13 @@ impl VpTable {
         VpTable {
             owned,
             clock: vec![start; n],
-            state: vec![VpState::Fresh; n],
-            wait_class: vec![WaitClass::Message; n],
+            // Fresh, WaitClass::Message, not woken, no termination.
+            flags: vec![enc_class(WaitClass::Message) << CLASS_SHIFT; n],
             wait_token: vec![WaitToken(0); n],
-            woken: vec![false; n],
-            time_of_failure: vec![None; n],
-            abort_at: vec![None; n],
-            wait_desc: vec![""; n],
-            termination: vec![None; n],
-            resumes: vec![0; n],
+            time_of_failure: Vec::new(),
+            abort_at: Vec::new(),
+            wait_desc: vec![0; n],
+            descs: vec![""],
             futures: (0..n).map(|_| None).collect(),
         }
     }
@@ -223,6 +285,36 @@ impl VpTable {
             )
         })
     }
+
+    /// Intern a wait description, returning its column index. The
+    /// simulator has a handful of distinct `&'static str` wait sites;
+    /// pointer equality catches re-interning on the hot path.
+    fn intern(&mut self, s: &'static str) -> u8 {
+        if let Some(i) = self
+            .descs
+            .iter()
+            .position(|d| std::ptr::eq(*d, s) || *d == s)
+        {
+            return i as u8;
+        }
+        assert!(self.descs.len() < 256, "too many distinct wait sites");
+        self.descs.push(s);
+        (self.descs.len() - 1) as u8
+    }
+
+    /// Materialize the lazy time-of-failure column.
+    fn ensure_tof(&mut self) {
+        if self.time_of_failure.is_empty() {
+            self.time_of_failure = vec![NO_TIME; self.len()];
+        }
+    }
+
+    /// Materialize the lazy abort-activation column.
+    fn ensure_abort(&mut self) {
+        if self.abort_at.is_empty() {
+            self.abort_at = vec![NO_TIME; self.len()];
+        }
+    }
 }
 
 // `Debug` for the table prints occupancy, not a million rows.
@@ -232,7 +324,11 @@ impl fmt::Debug for VpTable {
             .field("owned", &self.owned)
             .field(
                 "done",
-                &self.state.iter().filter(|s| **s == VpState::Done).count(),
+                &self
+                    .flags
+                    .iter()
+                    .filter(|b| dec_state(**b) == VpState::Done)
+                    .count(),
             )
             .finish()
     }
@@ -262,13 +358,13 @@ macro_rules! vp_read_api {
         /// Scheduling state.
         #[inline]
         pub fn state(&self) -> VpState {
-            self.$table.state[self.i]
+            dec_state(self.$table.flags[self.i])
         }
 
         /// What the VP is blocked on (valid when [`VpState::Blocked`]).
         #[inline]
         pub fn wait_class(&self) -> WaitClass {
-            self.$table.wait_class[self.i]
+            dec_class(self.$table.flags[self.i])
         }
 
         /// Token of the current wait.
@@ -280,46 +376,50 @@ macro_rules! vp_read_api {
         /// Description of the current wait, for diagnostics.
         #[inline]
         pub fn wait_desc(&self) -> &'static str {
-            self.$table.wait_desc[self.i]
+            self.$table.descs[self.$table.wait_desc[self.i] as usize]
         }
 
         /// Scheduled (earliest) time of failure, if any.
         #[inline]
         pub fn time_of_failure(&self) -> Option<SimTime> {
-            self.$table.time_of_failure[self.i]
+            match self.$table.time_of_failure.get(self.i) {
+                Some(&ns) if ns != NO_TIME => Some(SimTime(ns)),
+                _ => None,
+            }
         }
 
         /// Earliest propagated-abort activation time, if any.
         #[inline]
         pub fn abort_at(&self) -> Option<SimTime> {
-            self.$table.abort_at[self.i]
+            match self.$table.abort_at.get(self.i) {
+                Some(&ns) if ns != NO_TIME => Some(SimTime(ns)),
+                _ => None,
+            }
         }
 
-        /// How the VP terminated (valid when [`VpState::Done`]).
+        /// How the VP terminated (valid when [`VpState::Done`]). The
+        /// termination time is the VP's final clock — see
+        /// [`VpMut::set_termination`].
         #[inline]
         pub fn termination(&self) -> Option<Termination> {
-            self.$table.termination[self.i]
-        }
-
-        /// Number of times this VP was resumed (context switches in).
-        #[inline]
-        pub fn resumes(&self) -> u64 {
-            self.$table.resumes[self.i]
+            match self.$table.flags[self.i] >> TERM_SHIFT {
+                0 => None,
+                1 => Some(Termination::Finished),
+                2 => Some(Termination::Failed(self.clock())),
+                _ => Some(Termination::Aborted(self.clock())),
+            }
         }
 
         /// Whether the VP has terminated (finished, failed, or aborted).
         #[inline]
         pub fn is_done(&self) -> bool {
-            self.$table.state[self.i] == VpState::Done
+            dec_state(self.$table.flags[self.i]) == VpState::Done
         }
 
         /// Whether the VP terminated by injected failure.
         #[inline]
         pub fn is_failed(&self) -> bool {
-            matches!(
-                self.$table.termination[self.i],
-                Some(Termination::Failed(_))
-            )
+            self.$table.flags[self.i] >> TERM_SHIFT == 2
         }
     };
 }
@@ -340,7 +440,8 @@ impl VpMut<'_> {
     /// Set the scheduling state.
     #[inline]
     pub fn set_state(&mut self, s: VpState) {
-        self.t.state[self.i] = s;
+        let f = &mut self.t.flags[self.i];
+        *f = (*f & !STATE_MASK) | enc_state(s);
     }
 
     /// Advance the clock to at least `time` (clocks never move backward).
@@ -354,13 +455,14 @@ impl VpMut<'_> {
     /// Begin a new wait: bump the token, record the class and description.
     /// Returns the token the wakeup must carry.
     pub fn begin_wait(&mut self, class: WaitClass, desc: &'static str) -> WaitToken {
-        debug_assert_eq!(self.t.state[self.i], VpState::Running);
+        debug_assert_eq!(dec_state(self.t.flags[self.i]), VpState::Running);
         let tok = WaitToken(self.t.wait_token[self.i].0 + 1);
         self.t.wait_token[self.i] = tok;
-        self.t.wait_class[self.i] = class;
-        self.t.wait_desc[self.i] = desc;
-        self.t.woken[self.i] = false;
-        self.t.state[self.i] = VpState::Blocked;
+        self.t.wait_desc[self.i] = self.t.intern(desc);
+        let f = &mut self.t.flags[self.i];
+        *f = (*f & !(STATE_MASK | CLASS_MASK | WOKEN_BIT))
+            | enc_state(VpState::Blocked)
+            | (enc_class(class) << CLASS_SHIFT);
         tok
     }
 
@@ -370,52 +472,66 @@ impl VpMut<'_> {
     /// early.
     pub fn rearm_wait(&mut self, class: WaitClass, desc: &'static str, token: WaitToken) {
         self.t.wait_token[self.i] = token;
-        self.t.wait_class[self.i] = class;
-        self.t.wait_desc[self.i] = desc;
-        self.t.woken[self.i] = false;
-        self.t.state[self.i] = VpState::Blocked;
+        self.t.wait_desc[self.i] = self.t.intern(desc);
+        let f = &mut self.t.flags[self.i];
+        *f = (*f & !(STATE_MASK | CLASS_MASK | WOKEN_BIT))
+            | enc_state(VpState::Blocked)
+            | (enc_class(class) << CLASS_SHIFT);
     }
 
     /// Deliver a wakeup: mark runnable with the pending-wake flag set.
     #[inline]
     pub fn deliver_wake(&mut self) {
-        self.t.state[self.i] = VpState::Runnable;
-        self.t.woken[self.i] = true;
+        let f = &mut self.t.flags[self.i];
+        *f = (*f & !STATE_MASK) | enc_state(VpState::Runnable) | WOKEN_BIT;
     }
 
     /// Consume a delivered wakeup, if any. Called by blocking futures on
     /// re-poll.
     #[inline]
     pub fn take_woken(&mut self) -> bool {
-        std::mem::take(&mut self.t.woken[self.i])
+        let f = &mut self.t.flags[self.i];
+        let woken = *f & WOKEN_BIT != 0;
+        *f &= !WOKEN_BIT;
+        woken
     }
 
-    /// Set the scheduled time of failure.
+    /// Set the scheduled time of failure. Materializes the lazy column
+    /// on a shard's first injection.
     #[inline]
     pub fn set_time_of_failure(&mut self, tof: SimTime) {
-        self.t.time_of_failure[self.i] = Some(tof);
+        self.t.ensure_tof();
+        self.t.time_of_failure[self.i] = tof.as_nanos();
     }
 
-    /// Min-merge a propagated-abort activation time.
+    /// Min-merge a propagated-abort activation time. Materializes the
+    /// lazy column on a shard's first abort.
     #[inline]
     pub fn note_abort_at(&mut self, time: SimTime) {
+        self.t.ensure_abort();
         let slot = &mut self.t.abort_at[self.i];
-        *slot = Some(match *slot {
-            Some(existing) => existing.min(time),
-            None => time,
-        });
+        *slot = (*slot).min(time.as_nanos());
     }
 
-    /// Record how the VP terminated.
+    /// Record how the VP terminated. Only the *kind* is stored: every
+    /// kernel termination path sets the time to the VP's final clock
+    /// (it advances the clock first), so the time is reconstructed from
+    /// the clock column — asserted here.
     #[inline]
     pub fn set_termination(&mut self, term: Termination) {
-        self.t.termination[self.i] = Some(term);
-    }
-
-    /// Count a context switch in.
-    #[inline]
-    pub fn bump_resumes(&mut self) {
-        self.t.resumes[self.i] += 1;
+        let kind = match term {
+            Termination::Finished => 1u8,
+            Termination::Failed(t) => {
+                debug_assert_eq!(t, self.clock(), "termination time must be the final clock");
+                2
+            }
+            Termination::Aborted(t) => {
+                debug_assert_eq!(t, self.clock(), "termination time must be the final clock");
+                3
+            }
+        };
+        let f = &mut self.t.flags[self.i];
+        *f = (*f & !(0b11 << TERM_SHIFT)) | (kind << TERM_SHIFT);
     }
 
     /// Move the coroutine out for polling (or teardown).
@@ -528,5 +644,86 @@ mod tests {
         let mut vp = t.get_mut(Rank(7));
         vp.advance_clock(SimTime(50));
         assert_eq!(vp.advance_clock(SimTime(10)), SimTime(50));
+    }
+
+    #[test]
+    fn packed_flags_round_trip_independently() {
+        // Every (state, class, woken) combination survives a round trip
+        // and mutating one field never disturbs the others.
+        let mut t = table();
+        let states = [
+            VpState::Fresh,
+            VpState::Running,
+            VpState::Blocked,
+            VpState::Runnable,
+            VpState::Done,
+        ];
+        let classes = [
+            WaitClass::Compute,
+            WaitClass::Message,
+            WaitClass::FileIo,
+            WaitClass::Doomed,
+        ];
+        for &s in &states {
+            for &c in &classes {
+                let mut vp = t.get_mut(Rank(4));
+                vp.set_state(VpState::Running);
+                vp.begin_wait(c, "x");
+                vp.set_state(s);
+                assert_eq!(vp.state(), s);
+                assert_eq!(vp.wait_class(), c);
+                vp.deliver_wake();
+                assert_eq!(vp.wait_class(), c, "wake must not clobber class");
+                assert_eq!(vp.state(), VpState::Runnable);
+                assert!(vp.take_woken());
+            }
+        }
+    }
+
+    #[test]
+    fn termination_kind_packs_and_time_is_the_clock() {
+        let mut t = table();
+        let mut vp = t.get_mut(Rank(4));
+        assert_eq!(vp.termination(), None);
+        vp.advance_clock(SimTime(77));
+        vp.set_termination(Termination::Failed(SimTime(77)));
+        assert_eq!(vp.termination(), Some(Termination::Failed(SimTime(77))));
+        assert!(vp.is_failed());
+        let mut vp = t.get_mut(Rank(5));
+        vp.advance_clock(SimTime(9));
+        vp.set_termination(Termination::Aborted(SimTime(9)));
+        assert_eq!(vp.termination(), Some(Termination::Aborted(SimTime(9))));
+        let mut vp = t.get_mut(Rank(6));
+        vp.set_termination(Termination::Finished);
+        assert_eq!(vp.termination(), Some(Termination::Finished));
+        assert!(!vp.is_failed());
+    }
+
+    #[test]
+    fn activation_columns_are_lazy() {
+        let mut t = table();
+        assert!(t.time_of_failure.is_empty() && t.abort_at.is_empty());
+        assert_eq!(t.get(Rank(4)).time_of_failure(), None);
+        assert_eq!(t.get(Rank(4)).abort_at(), None);
+        t.get_mut(Rank(5)).set_time_of_failure(SimTime(123));
+        assert_eq!(t.time_of_failure.len(), 4, "column materializes once");
+        assert_eq!(t.get(Rank(5)).time_of_failure(), Some(SimTime(123)));
+        assert_eq!(t.get(Rank(4)).time_of_failure(), None);
+        t.get_mut(Rank(6)).note_abort_at(SimTime(50));
+        t.get_mut(Rank(6)).note_abort_at(SimTime(40));
+        t.get_mut(Rank(6)).note_abort_at(SimTime(60));
+        assert_eq!(t.get(Rank(6)).abort_at(), Some(SimTime(40)), "min-merge");
+    }
+
+    #[test]
+    fn wait_descs_intern_to_one_byte() {
+        let mut t = table();
+        for r in 4..8 {
+            let mut vp = t.get_mut(Rank(r));
+            vp.set_state(VpState::Running);
+            vp.begin_wait(WaitClass::Message, "recv");
+        }
+        assert_eq!(t.descs.len(), 2, "one shared entry plus the empty slot");
+        assert_eq!(t.get(Rank(7)).wait_desc(), "recv");
     }
 }

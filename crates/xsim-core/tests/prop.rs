@@ -90,29 +90,45 @@ proptest! {
 
     /// The calendar queue is byte-identical to the binary-heap oracle
     /// under arbitrary *interleaved* push/pop traffic — not just
-    /// push-all-then-pop-all. Times are drawn from a small range so
-    /// same-timestamp ties (broken by `(dst, src, seq)`) are common,
-    /// and a sprinkle of far-future times exercises the overflow lane
-    /// and its migration/re-fit path.
+    /// push-all-then-pop-all. Times are drawn from three bands: a small
+    /// range where same-timestamp ties (broken by `(dst, src, seq)`)
+    /// are common, a mid band that spreads events over many slices
+    /// (ring growth, width re-fits, the settle scan's buffer
+    /// recycling), and a far-future band exercising the overflow lane
+    /// and its migration/re-fit path. Each push op optionally becomes a
+    /// same-time *burst* whose size crosses the bounded-memmove cap, so
+    /// both the in-order insertion and the append-and-sort-once
+    /// fallback run against the oracle, interleaved with pops and
+    /// geometry changes.
     #[test]
     fn calendar_queue_matches_heap_under_interleaved_ops(
         ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..512, 0u32..16, 0u32..16, any::<bool>()),
-            1..400,
+            (any::<bool>(), 0u64..512, 0u32..16, 0u32..16, 0u8..3, 0u8..3),
+            1..250,
         ),
     ) {
         let mut heap = EventQueue::heap();
         let mut cal = EventQueue::calendar();
         let mut seq = 0u64;
-        for (push, t, dst, src, far) in ops {
+        for (push, t, dst, src, band, burst) in ops {
             if push || heap.is_empty() {
                 // Unique keys, as the engine guarantees: the per-source
                 // seq counter disambiguates colliding (time, dst, src).
-                let time = if far { SimTime(t.saturating_mul(1 << 40)) } else { SimTime(t) };
-                let key = EventKey { time, dst: Rank(dst), src: Rank(src), seq };
-                seq += 1;
-                heap.push(EventRec { key, action: Action::Spawn });
-                cal.push(EventRec { key, action: Action::Spawn });
+                let time = match band {
+                    0 => SimTime(t),
+                    1 => SimTime(t.saturating_mul(1 << 12)),
+                    _ => SimTime(t.saturating_mul(1 << 40)),
+                };
+                // A burst stacks same-(time, dst, src) events whose
+                // order is decided by seq alone — deep enough to force
+                // the memmove-capped path inside one bucket.
+                let burst_len = 1 + 48 * burst as u64;
+                for _ in 0..burst_len {
+                    let key = EventKey { time, dst: Rank(dst), src: Rank(src), seq };
+                    seq += 1;
+                    heap.push(EventRec { key, action: Action::Spawn });
+                    cal.push(EventRec { key, action: Action::Spawn });
+                }
             } else {
                 let h = heap.pop().map(|e| e.key);
                 let c = cal.pop().map(|e| e.key);

@@ -538,7 +538,15 @@ impl SimBuilder {
                     if let Some(tr) = k.try_service_mut::<TraceService>() {
                         tr.flush();
                     }
+                    // Land the MPI layer's batched hot-path counters
+                    // before the metric set is flushed into the sink.
+                    let batch = k
+                        .try_service_mut::<MpiService>()
+                        .map(|svc| std::mem::take(&mut svc.net_batch));
                     if let Some(obs) = k.try_service_mut::<ObsService>() {
+                        if let Some(batch) = batch {
+                            batch.flush_into(&mut obs.set);
+                        }
                         obs.flush();
                     }
                 }));

@@ -86,6 +86,23 @@ pub struct Envelope {
     pub send_req: Option<(Rank, u64)>,
 }
 
+impl Envelope {
+    /// A contentless placeholder left behind when a transport box is
+    /// recycled. Allocation-free (the empty payload stores inline).
+    pub(crate) fn blank() -> Self {
+        Envelope {
+            src: Rank(0),
+            comm: CommId(0),
+            tag: 0,
+            data: Bytes::new(),
+            seq: 0,
+            header_arrival: SimTime::ZERO,
+            payload_ready: None,
+            send_req: None,
+        }
+    }
+}
+
 /// A posted receive awaiting a match.
 #[derive(Debug, Clone)]
 pub struct PostedRecv {

@@ -3,7 +3,7 @@
 
 use crate::comm::CommTable;
 use crate::error::{ErrHandler, MpiError};
-use crate::msg::MatchQueues;
+use crate::msg::{Envelope, MatchQueues};
 use crate::request::{ReqId, RequestTable};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -11,7 +11,9 @@ use std::ops::Range;
 use std::sync::Arc;
 use xsim_core::event::Action;
 use xsim_core::{DetRng, Kernel, Rank, SimTime};
-use xsim_net::NetModel;
+use xsim_net::{NetClass, NetModel};
+use xsim_obs::ids;
+use xsim_obs::metrics::{MetricSet, SIZE_BUCKETS};
 use xsim_proc::ProcModel;
 
 /// How simulated MPI process failures are detected (paper §IV-C).
@@ -344,6 +346,84 @@ impl Drop for PowerService {
     }
 }
 
+/// Batched hot-path network counters. Every send previously paid one
+/// service (`TypeId`) lookup per metric — five per message. The batch
+/// accumulates them as plain field adds inside the `MpiService` the send
+/// path already holds, and lands the totals in the metric registry once
+/// per shard at engine shutdown. All batched metrics are additive
+/// (counters plus one histogram), so the merged totals — and with them
+/// the deterministic snapshot surface — are unchanged.
+#[derive(Debug, Default, Clone)]
+pub struct NetBatch {
+    /// Eager-protocol messages injected (`ids::NET_MSGS_EAGER`).
+    pub msgs_eager: u64,
+    /// Rendezvous-protocol messages injected (`ids::NET_MSGS_RENDEZVOUS`).
+    pub msgs_rendezvous: u64,
+    /// Payload bytes per network class: `[on-chip, on-node, system]`.
+    pub bytes_class: [u64; 3],
+    /// Local parts of the `net.msg_bytes` histogram (`SIZE_BUCKETS` plus
+    /// the overflow bucket).
+    pub msg_bytes_counts: Vec<u64>,
+    /// Sum of all observed payload sizes.
+    pub msg_bytes_sum: u64,
+}
+
+impl NetBatch {
+    /// Account one injected message.
+    #[inline]
+    pub fn observe(&mut self, eager: bool, class: NetClass, nbytes: u64) {
+        if eager {
+            self.msgs_eager += 1;
+        } else {
+            self.msgs_rendezvous += 1;
+        }
+        let ci = match class {
+            NetClass::OnChip => 0,
+            NetClass::OnNode => 1,
+            NetClass::System => 2,
+        };
+        self.bytes_class[ci] += nbytes;
+        if self.msg_bytes_counts.is_empty() {
+            self.msg_bytes_counts = vec![0; SIZE_BUCKETS.len() + 1];
+        }
+        self.msg_bytes_counts[SIZE_BUCKETS.partition_point(|&b| b < nbytes)] += 1;
+        self.msg_bytes_sum += nbytes;
+    }
+
+    /// Land the batch in a metric set.
+    pub fn flush_into(&self, set: &mut MetricSet) {
+        if self.msgs_eager > 0 {
+            set.add(ids::NET_MSGS_EAGER, self.msgs_eager);
+        }
+        if self.msgs_rendezvous > 0 {
+            set.add(ids::NET_MSGS_RENDEZVOUS, self.msgs_rendezvous);
+        }
+        for (ci, id) in [
+            ids::NET_BYTES_ONCHIP,
+            ids::NET_BYTES_ONNODE,
+            ids::NET_BYTES_SYSTEM,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if self.bytes_class[ci] > 0 {
+                set.add(id, self.bytes_class[ci]);
+            }
+        }
+        if !self.msg_bytes_counts.is_empty() {
+            set.add_hist_parts(
+                ids::NET_MSG_BYTES,
+                &self.msg_bytes_counts,
+                self.msg_bytes_sum,
+            );
+        }
+    }
+}
+
+/// Recycled-envelope pool bound: enough to cover the in-flight messages
+/// of a busy shard while keeping an idle pool small.
+const ENV_POOL_CAP: usize = 1024;
+
 /// The kernel service owning the MPI state of this shard's ranks.
 pub struct MpiService {
     /// Shared world configuration.
@@ -352,6 +432,14 @@ pub struct MpiService {
     owned: Range<usize>,
     /// Cross-shard statistics sink, flushed on drop.
     stats_sink: Arc<Mutex<MpiStats>>,
+    /// Recycled transport boxes: injection draws here, delivery returns
+    /// here, so steady-state messaging performs no envelope allocation.
+    /// The boxes themselves are the pooled resource (delivery closures
+    /// capture `Box<Envelope>` to stay pointer-sized), hence `Vec<Box<_>>`.
+    #[allow(clippy::vec_box)]
+    env_pool: Vec<Box<Envelope>>,
+    /// Batched hot-path counters, flushed at engine shutdown.
+    pub net_batch: NetBatch,
 }
 
 impl MpiService {
@@ -375,7 +463,31 @@ impl MpiService {
             ranks,
             owned,
             stats_sink,
+            env_pool: Vec::new(),
+            net_batch: NetBatch::default(),
         }
+    }
+
+    /// Box an envelope for transport, reusing a recycled allocation when
+    /// one is pooled.
+    pub(crate) fn env_box(&mut self, env: Envelope) -> Box<Envelope> {
+        match self.env_pool.pop() {
+            Some(mut b) => {
+                *b = env;
+                b
+            }
+            None => Box::new(env),
+        }
+    }
+
+    /// Take the envelope out of a transport box and return the emptied
+    /// box to the pool (dropped instead once the pool is full).
+    pub(crate) fn env_unbox(&mut self, mut b: Box<Envelope>) -> Envelope {
+        let env = std::mem::replace(&mut *b, Envelope::blank());
+        if self.env_pool.len() < ENV_POOL_CAP {
+            self.env_pool.push(b);
+        }
+        env
     }
 
     /// The MPI state of an owned rank.
@@ -607,6 +719,52 @@ mod tests {
         assert_eq!(rm.first_unacked_failure(), Some((Rank(2), SimTime(10))));
         rm.acked.insert(Rank(2));
         assert!(rm.first_unacked_failure().is_none());
+    }
+
+    #[test]
+    fn net_batch_flush_matches_direct_records() {
+        let mut batch = NetBatch::default();
+        let sends: [(bool, NetClass, u64); 5] = [
+            (true, NetClass::OnChip, 16),
+            (true, NetClass::OnNode, 64),
+            (false, NetClass::System, 1 << 20),
+            (true, NetClass::System, 300),
+            (false, NetClass::OnNode, 1 << 25),
+        ];
+        let mut direct = MetricSet::new();
+        for &(eager, class, nbytes) in &sends {
+            batch.observe(eager, class, nbytes);
+            direct.add(
+                if eager {
+                    ids::NET_MSGS_EAGER
+                } else {
+                    ids::NET_MSGS_RENDEZVOUS
+                },
+                1,
+            );
+            let cid = match class {
+                NetClass::OnChip => ids::NET_BYTES_ONCHIP,
+                NetClass::OnNode => ids::NET_BYTES_ONNODE,
+                NetClass::System => ids::NET_BYTES_SYSTEM,
+            };
+            direct.add(cid, nbytes);
+            direct.add(ids::NET_MSG_BYTES, nbytes);
+        }
+        let mut batched = MetricSet::new();
+        batch.flush_into(&mut batched);
+        assert_eq!(direct, batched);
+    }
+
+    #[test]
+    fn envelope_pool_recycles_boxes() {
+        let sink = Arc::new(Mutex::new(MpiStats::default()));
+        let mut svc = MpiService::new(world(2), 0..2, sink);
+        let b = svc.env_box(Envelope::blank());
+        let addr = &*b as *const Envelope;
+        let _ = svc.env_unbox(b);
+        let b2 = svc.env_box(Envelope::blank());
+        assert_eq!(addr, &*b2 as *const Envelope, "allocation is reused");
+        let _ = svc.env_unbox(b2);
     }
 
     #[test]

@@ -438,6 +438,25 @@ impl MetricSet {
         }
     }
 
+    /// Merge pre-aggregated histogram parts into histogram `id`:
+    /// per-bucket counts (`buckets.len() + 1` entries, overflow last)
+    /// plus the sample sum. Lets hot paths batch observations in plain
+    /// local arrays and land them in one call instead of paying a
+    /// registry lookup per sample.
+    pub fn add_hist_parts(&mut self, id: usize, counts: &[u64], sum: u64) {
+        let Slot::Hist(h) = &mut self.slots[id] else {
+            panic!("metric {id} is not a histogram");
+        };
+        assert_eq!(counts.len(), h.counts.len(), "bucket layout mismatch");
+        let mut n = 0u64;
+        for (slot, c) in h.counts.iter_mut().zip(counts) {
+            *slot += c;
+            n += c;
+        }
+        h.count += n;
+        h.sum += sum;
+    }
+
     /// Scalar value of a metric: counter/gauge value, or a histogram's
     /// sample count.
     pub fn value(&self, id: usize) -> u64 {
@@ -633,6 +652,27 @@ mod tests {
         assert_eq!(h.counts[1], 1, "100 lands in (64, 256]");
         assert_eq!(*h.counts.last().unwrap(), 1, "1 GiB overflows");
         assert!(m.any_activity());
+    }
+
+    #[test]
+    fn hist_parts_merge_like_individual_adds() {
+        let mut direct = MetricSet::new();
+        let samples = [32u64, 64, 65, 300, 1 << 30];
+        for &s in &samples {
+            direct.add(ids::NET_MSG_BYTES, s);
+        }
+        let mut batched = MetricSet::new();
+        let mut counts = vec![0u64; SIZE_BUCKETS.len() + 1];
+        let mut sum = 0u64;
+        for &s in &samples {
+            counts[SIZE_BUCKETS.partition_point(|&b| b < s)] += 1;
+            sum += s;
+        }
+        batched.add_hist_parts(ids::NET_MSG_BYTES, &counts, sum);
+        assert_eq!(
+            direct.hist(ids::NET_MSG_BYTES),
+            batched.hist(ids::NET_MSG_BYTES)
+        );
     }
 
     #[test]

@@ -1,46 +1,113 @@
 //! Offline stub of the `bytes` crate surface xsim uses: an immutable,
 //! cheaply-clonable `Bytes` with zero-copy `slice`, a growable
-//! `BytesMut`, and the `BufMut` writer methods the codecs call. Backed
-//! by an `Arc<Vec<u8>>` plus a view range — same sharing semantics as
-//! the real crate for everything the simulator relies on.
+//! `BytesMut`, and the `BufMut` writer methods the codecs call.
+//!
+//! Three representations sit behind the one 32-byte `Bytes` value:
+//!
+//! * **Inline** — payloads up to [`Bytes::INLINE_CAP`] (30) bytes live
+//!   directly in the value. Small-message creation (control frames,
+//!   redundancy envelopes, sub-eager payloads) allocates nothing; this
+//!   is the zero-allocation small-message fast path the MPI layer rides.
+//! * **Static** — `from_static` borrows the `'static` slice, no copy.
+//! * **Shared** — an `Arc<Vec<u8>>` plus a view range, same refcounted
+//!   sharing semantics as the real crate for large payloads.
+//!
+//! All equality/order/hash is by content, so the representations mix
+//! freely.
 
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-#[derive(Clone, Default)]
-pub struct Bytes {
-    buf: Arc<Vec<u8>>,
-    start: usize,
-    end: usize,
+#[derive(Clone)]
+enum Repr {
+    /// Payload stored in the value itself; no allocation.
+    Inline { len: u8, buf: [u8; Bytes::INLINE_CAP] },
+    /// Borrowed static slice; no allocation, no copy.
+    Static(&'static [u8]),
+    /// Refcounted heap buffer with a zero-copy view range.
+    Shared {
+        buf: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes(Repr::Inline {
+            len: 0,
+            buf: [0; Bytes::INLINE_CAP],
+        })
+    }
 }
 
 impl Bytes {
+    /// Largest payload stored inline (no heap allocation).
+    pub const INLINE_CAP: usize = 30;
+
     pub fn new() -> Self {
         Bytes::default()
     }
 
+    #[inline]
+    fn inline_from(b: &[u8]) -> Self {
+        debug_assert!(b.len() <= Bytes::INLINE_CAP);
+        let mut buf = [0u8; Bytes::INLINE_CAP];
+        buf[..b.len()].copy_from_slice(b);
+        Bytes(Repr::Inline {
+            len: b.len() as u8,
+            buf,
+        })
+    }
+
     fn from_vec(v: Vec<u8>) -> Self {
+        if v.len() <= Bytes::INLINE_CAP {
+            return Bytes::inline_from(&v);
+        }
         let end = v.len();
-        Bytes {
+        Bytes(Repr::Shared {
             buf: Arc::new(v),
             start: 0,
             end,
-        }
+        })
     }
 
     pub fn from_static(b: &'static [u8]) -> Self {
-        Bytes::from_vec(b.to_vec())
+        Bytes(Repr::Static(b))
     }
 
     pub fn copy_from_slice(b: &[u8]) -> Self {
-        Bytes::from_vec(b.to_vec())
+        if b.len() <= Bytes::INLINE_CAP {
+            Bytes::inline_from(b)
+        } else {
+            Bytes::from_vec(b.to_vec())
+        }
+    }
+
+    /// Whether the payload is stored without a heap allocation (inline
+    /// or static). Exposed for pool/bench accounting.
+    pub fn is_inline(&self) -> bool {
+        !matches!(self.0, Repr::Shared { .. })
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Static(s) => s,
+            Repr::Shared { buf, start, end } => &buf[*start..*end],
+        }
     }
 
     /// Zero-copy sub-view sharing the backing allocation (the real
-    /// crate's `Bytes::slice`). Panics on an out-of-range or inverted
-    /// range, like the real crate.
+    /// crate's `Bytes::slice`); inline payloads copy into a new inline
+    /// value. Panics on an out-of-range or inverted range, like the
+    /// real crate.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
-        let len = self.end - self.start;
+        let len = self.as_slice().len();
         let lo = match range.start_bound() {
             Bound::Included(&n) => n,
             Bound::Excluded(&n) => n + 1,
@@ -55,10 +122,14 @@ impl Bytes {
             lo <= hi && hi <= len,
             "slice {lo}..{hi} out of range for {len}"
         );
-        Bytes {
-            buf: self.buf.clone(),
-            start: self.start + lo,
-            end: self.start + hi,
+        match &self.0 {
+            Repr::Inline { buf, .. } => Bytes::inline_from(&buf[lo..hi]),
+            Repr::Static(s) => Bytes(Repr::Static(&s[lo..hi])),
+            Repr::Shared { buf, start, .. } => Bytes(Repr::Shared {
+                buf: buf.clone(),
+                start: start + lo,
+                end: start + hi,
+            }),
         }
     }
 }
@@ -66,7 +137,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf[self.start..self.end]
+        self.as_slice()
     }
 }
 
@@ -122,7 +193,7 @@ impl From<String> for Bytes {
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Self {
-        Bytes::from_vec(s.as_bytes().to_vec())
+        Bytes::from_static(s.as_bytes())
     }
 }
 
@@ -200,5 +271,62 @@ impl BufMut for BytesMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_is_32_bytes_and_small_payloads_inline() {
+        assert_eq!(std::mem::size_of::<Bytes>(), 32);
+        assert!(Bytes::copy_from_slice(&[7u8; Bytes::INLINE_CAP]).is_inline());
+        assert!(!Bytes::copy_from_slice(&[7u8; Bytes::INLINE_CAP + 1]).is_inline());
+        assert!(Bytes::from_static(b"static data never allocates here").is_inline());
+        assert!(Bytes::from(vec![1u8; 8]).is_inline());
+        assert!(!Bytes::from(vec![1u8; 100]).is_inline());
+    }
+
+    #[test]
+    fn representations_compare_by_content() {
+        let data = b"hello world";
+        let a = Bytes::copy_from_slice(data);
+        let b = Bytes::from_static(data);
+        let c = Bytes::from(data.to_vec().repeat(4)).slice(..data.len());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(&a[..], data);
+    }
+
+    #[test]
+    fn slice_semantics_hold_across_representations() {
+        let long = Bytes::from(vec![9u8; 64]);
+        let view = long.slice(8..40);
+        assert_eq!(view.len(), 32);
+        assert!(!view.is_inline());
+        let short = view.slice(..4);
+        assert!(!short.is_inline(), "shared slices stay zero-copy views");
+        assert_eq!(&short[..], &[9u8; 4]);
+        let stat = Bytes::from_static(b"abcdef").slice(1..=3);
+        assert_eq!(&stat[..], b"bcd");
+        let inl = Bytes::copy_from_slice(b"0123456789").slice(2..5);
+        assert_eq!(&inl[..], b"234");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        Bytes::copy_from_slice(b"abc").slice(1..5);
+    }
+
+    #[test]
+    fn freeze_round_trips() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32_le(0xdeadbeef);
+        m.put_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(b.len(), 6);
+        assert!(b.is_inline());
     }
 }
